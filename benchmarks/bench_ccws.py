@@ -1,0 +1,50 @@
+"""Extension baseline: CCWS-style locality-driven throttling.
+
+The paper cites CCWS alongside DynCTA as the canonical single-
+application TLP techniques whose per-application blindness motivates
+PBS (§I, §IV).  This benchmark evaluates our CCWS analogue on a few
+workloads and checks that it behaves like a *local* heuristic: broadly
+competitive with DynCTA, but without PBS's shared-resource awareness.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import geomean, render_table
+
+WORKLOADS = (("BLK", "TRD"), ("BFS", "FFT"), ("JPEG", "LIB"))
+
+
+def test_ccws_is_a_local_heuristic(benchmark, ctx, report_dir):
+    def evaluate():
+        rows = []
+        for names in WORKLOADS:
+            apps = ctx.pair_apps(*names)
+            base = ctx.scheme(apps, "besttlp")
+            ccws = ctx.scheme(apps, "ccws")
+            dyncta = ctx.scheme(apps, "dyncta")
+            offline = ctx.scheme(apps, "pbs-offline-ws")
+            rows.append((
+                "_".join(names),
+                ccws.ws / base.ws,
+                dyncta.ws / base.ws,
+                offline.ws / base.ws,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    emit(
+        report_dir,
+        "ccws_comparison",
+        render_table(
+            ("workload", "CCWS", "DynCTA", "PBS-offline-WS"),
+            rows,
+            title="CCWS vs DynCTA vs PBS (WS normalized to bestTLP)",
+        ),
+    )
+
+    ccws_g = geomean(r[1] for r in rows)
+    dyncta_g = geomean(r[2] for r in rows)
+    pbs_g = geomean(r[3] for r in rows)
+    # A local heuristic: in DynCTA's neighbourhood...
+    assert 0.75 * dyncta_g <= ccws_g <= 1.25 * dyncta_g
+    # ...and without the application-aware search's headroom.
+    assert pbs_g >= 0.95 * max(ccws_g, dyncta_g)

@@ -1,0 +1,55 @@
+"""§III-B analytical model: Equations 1 and 5 validated at scale."""
+
+from benchmarks.conftest import emit
+from repro.analysis.model import validate_eq1, validate_eq5
+from repro.experiments.report import render_table
+from repro.workloads.generator import REPRESENTATIVE_PAIRS
+
+
+def test_equation1_ipc_tracks_eb(benchmark, ctx, report_dir):
+    """IPC ∝ EB within each application, across co-run interference."""
+
+    def fit_all():
+        rows = []
+        for names in REPRESENTATIVE_PAIRS:
+            surface = ctx.surface(ctx.pair_apps(*names))
+            for app_id, abbr in enumerate(names):
+                fit = validate_eq1(surface, app_id)
+                rows.append(("_".join(names), abbr, fit.slope, fit.r2))
+        return rows
+
+    rows = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+    emit(
+        report_dir,
+        "eq1_validation",
+        render_table(("workload", "app", "slope", "R^2"), rows,
+                     title="Equation 1: IPC = k * EB per application "
+                           "(64 combos each)"),
+    )
+    r2s = sorted(r[3] for r in rows)
+    median_r2 = r2s[len(r2s) // 2]
+    assert median_r2 > 0.8, "Equation 1 must hold for typical applications"
+    assert all(r[2] > 0 for r in rows), "all slopes positive"
+
+
+def test_equation5_ws_decomposes_over_scaled_ebs(benchmark, ctx, report_dir):
+    """WS tracks the sum of alone-scaled EBs across the surface."""
+
+    def fit_all():
+        rows = []
+        for names in REPRESENTATIVE_PAIRS:
+            apps = ctx.pair_apps(*names)
+            fit = validate_eq5(ctx.surface(apps), ctx.alone_for(apps))
+            rows.append(("_".join(names), fit.slope, fit.r2))
+        return rows
+
+    rows = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+    emit(
+        report_dir,
+        "eq5_validation",
+        render_table(("workload", "slope", "R^2"), rows,
+                     title="Equation 5: WS vs sum of alone-scaled EBs"),
+    )
+    r2s = sorted(r[2] for r in rows)
+    median_r2 = r2s[len(r2s) // 2]
+    assert median_r2 > 0.6, "Equation 5 must hold for typical workloads"

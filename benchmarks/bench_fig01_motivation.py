@@ -1,0 +1,18 @@
+"""Figure 1: motivation — bestTLP+bestTLP is sub-optimal for BFS_FFT."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig01_motivation(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig1, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig01_motivation", result.render())
+
+    # Shape checks from the paper's Figure 1: the oracles clearly beat
+    # the bestTLP+bestTLP baseline on their own metric.
+    assert result.ws["besttlp"] == 1.0
+    assert result.fi["besttlp"] == 1.0
+    assert result.ws["opt-ws"] > 1.03, "optWS must beat bestTLP WS"
+    assert result.fi["opt-fi"] > 1.3, "optFI must beat bestTLP FI clearly"
+    # maxTLP+maxTLP does not close the WS gap either.
+    assert result.ws["maxtlp"] < result.ws["opt-ws"]

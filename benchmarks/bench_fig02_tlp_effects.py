@@ -1,0 +1,38 @@
+"""Figure 2: TLP's effect on IPC / BW / CMR / EB for a single application."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig02_tlp_effects(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(
+        run_fig2, args=(ctx,), kwargs={"abbr": "BFS"}, rounds=1, iterations=1
+    )
+    emit(report_dir, "fig02_tlp_effects", result.render())
+
+    levels = result.levels
+    best_idx = levels.index(result.best_tlp)
+    max_idx = len(levels) - 1
+
+    # bestTLP is where normalized IPC peaks (== 1 by construction).
+    assert max(result.ipc) == result.ipc[best_idx] == 1.0
+    # CMR grows toward high TLP (cache contention).
+    assert result.cmr[max_idx] > result.cmr[0]
+    # EB rolls over: the maximum is not at maxTLP.
+    assert max(result.eb) > result.eb[max_idx]
+    # Figure 2d: EB tracks IPC closely across the sweep.
+    assert result.ipc_eb_correlation > 0.8
+
+
+def test_fig02_holds_for_other_applications(benchmark, ctx, report_dir):
+    """The paper verified the IPC-EB relationship for all applications."""
+
+    def sweep_many():
+        return {a: run_fig2(ctx, abbr=a) for a in ("JPEG", "BLK", "TRD", "LPS")}
+
+    results = benchmark.pedantic(sweep_many, rounds=1, iterations=1)
+    lines = []
+    for abbr, r in results.items():
+        lines.append(f"{abbr}: corr(IPC, EB) = {r.ipc_eb_correlation:.3f}")
+        assert r.ipc_eb_correlation > 0.7, f"{abbr}: EB must track IPC"
+    emit(report_dir, "fig02_ipc_eb_correlations", "\n".join(lines))

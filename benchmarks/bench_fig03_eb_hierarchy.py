@@ -1,0 +1,26 @@
+"""Figure 3: effective bandwidth at each level of the hierarchy."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig03_eb_hierarchy(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(
+        run_fig3, args=(ctx,), kwargs={"abbr": "BFS"}, rounds=1, iterations=1
+    )
+    emit(report_dir, "fig03_eb_hierarchy", result.render())
+
+    # A <= B <= C: each cache level amplifies the bandwidth below it.
+    assert result.bw_at_dram <= result.eb_at_l2 + 1e-12
+    assert result.eb_at_l2 <= result.eb_at_core + 1e-12
+    # BFS is cache-sensitive: the amplification is real, not epsilon.
+    assert result.eb_at_core > 1.2 * result.bw_at_dram
+
+
+def test_fig03_cache_insensitive_app_has_eb_equal_bw(benchmark, ctx, report_dir):
+    """The paper's BLK case: CMR ~ 1 means EB == BW at every level."""
+    result = benchmark.pedantic(
+        run_fig3, args=(ctx,), kwargs={"abbr": "BLK"}, rounds=1, iterations=1
+    )
+    emit(report_dir, "fig03_blk_case", result.render())
+    assert result.eb_at_core <= 1.1 * result.bw_at_dram

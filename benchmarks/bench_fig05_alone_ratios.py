@@ -1,0 +1,18 @@
+"""Figure 5: IPC alone-ratio vs EB alone-ratio across all pairs."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig05_alone_ratios(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig5, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig05_alone_ratios", result.render())
+
+    assert len(result.pairs) == 26 * 25 // 2
+    # The paper's claim: EB_AR is much lower than IPC_AR on average,
+    # which is why EB sums are the safer runtime proxy for WS.
+    assert result.mean_eb_ar < result.mean_ipc_ar
+    assert result.eb_wins_fraction > 0.6
+    # Ratios are well-formed.
+    assert all(r >= 1.0 for r in result.ipc_ar)
+    assert all(r >= 1.0 for r in result.eb_ar)

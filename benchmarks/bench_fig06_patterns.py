@@ -1,0 +1,20 @@
+"""Figure 6: EB-WS patterns and inflection-point consistency (BLK_TRD)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig06_patterns(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig6, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig06_patterns", result.render())
+
+    # The pattern claim: for each application the EB-WS inflection point
+    # stays within one lattice step of its modal level across iso-TLP
+    # curves of the co-runner, for most of the curves.
+    for app in (0, 1):
+        assert result.pattern_consistency(app) >= 0.5, (
+            f"app {app} ({result.abbrs[app]}): inflection points scatter "
+            f"too much for pattern-based searching"
+        )
+    # At least one application shows a strong, exploitable pattern.
+    assert max(result.pattern_consistency(a) for a in (0, 1)) >= 0.65

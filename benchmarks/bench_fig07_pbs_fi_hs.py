@@ -1,0 +1,35 @@
+"""Figure 7: the PBS-FI and PBS-HS searches on BLK_TRD."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig7 import run_fig7
+from repro.metrics.slowdown import fairness_index, harmonic_speedup
+
+
+def test_fig07_pbs_fi_hs(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig7, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig07_pbs_fi_hs", result.render())
+
+    apps = ctx.pair_apps(*result.abbrs)
+    surface = ctx.surface(apps)
+    alone = ctx.alone_for(apps)
+
+    def sd_metrics(combo):
+        s = surface[combo].samples
+        sds = [s[a].ipc / alone[a].ipc_alone for a in (0, 1)]
+        return fairness_index(sds), harmonic_speedup(sds)
+
+    # The PBS picks recover most of the oracle's FI / HS.
+    pbs_fi, _ = sd_metrics(result.pbs_fi_combo)
+    opt_fi, _ = sd_metrics(result.opt_fi_combo)
+    _, pbs_hs = sd_metrics(result.pbs_hs_combo)
+    _, opt_hs = sd_metrics(result.opt_hs_combo)
+    assert pbs_fi >= 0.6 * opt_fi
+    assert pbs_hs >= 0.7 * opt_hs
+
+    # The EB-difference curves move monotonically enough to be searchable:
+    # raising app0's TLP raises its share (diff grows along each curve).
+    for co, series in result.eb_diff.items():
+        assert series[-1] > series[0], (
+            f"iso TLP-{result.abbrs[1]}={co}: EB-difference must grow "
+            f"with TLP-{result.abbrs[0]}"
+        )

@@ -1,0 +1,23 @@
+"""Figure 8 / §V-E: hardware overhead accounting for the PBS unit."""
+
+from benchmarks.conftest import emit
+from repro.config import paper_config
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig08_overheads(benchmark, report_dir):
+    budget = benchmark.pedantic(
+        run_fig8, args=(paper_config(),), rounds=1, iterations=1
+    )
+    emit(report_dir, "fig08_overheads", budget.render())
+
+    # Per-core storage: two 32-bit registers, as in the paper.
+    assert budget.per_core_bits == 64
+    # The sampling table stays tiny (the paper says ~16 entries / ~160 B).
+    assert budget.sampling_table_bytes <= 160
+    # Total storage across the whole GPU stays under a kilobyte —
+    # negligible against megabytes of on-chip SRAM.
+    assert budget.total_storage_bytes < 1024
+    # Communication: ~69 bits per window at 100 cycles latency.
+    assert budget.relay_bits_per_window < 256
+    assert budget.relay_latency_cycles == 100

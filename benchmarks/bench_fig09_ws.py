@@ -1,0 +1,30 @@
+"""Figure 9: weighted speedup of every scheme, normalized to bestTLP."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig09_weighted_speedup(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig9, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig09_ws", result.render())
+
+    g = {s: result.gmean(s) for s in result.schemes}
+
+    # Baseline is the normalization anchor.
+    assert abs(g["besttlp"] - 1.0) < 1e-9
+    # The oracle improves system throughput clearly (paper: ~25%).
+    assert g["opt-ws"] > 1.08
+    # Observation 1 at scale: optimizing the EB proxy lands within a few
+    # percent of the SD oracle (paper: within ~1%).
+    assert g["bf-ws"] > 0.95 * g["opt-ws"]
+    # PBS's pattern search loses little to the exhaustive EB search.
+    assert g["pbs-offline-ws"] > 0.95 * g["bf-ws"]
+    # The offline scheme beats the bestTLP baseline and both prior
+    # heuristics (DynCTA, Mod+Bypass).
+    assert g["pbs-offline-ws"] > 1.08
+    assert g["pbs-offline-ws"] > g["dyncta"]
+    assert g["pbs-offline-ws"] > g["modbypass"]
+    # The online controller pays its search overhead inside the run yet
+    # clearly beats the baseline and the prior heuristics.
+    assert g["pbs-ws"] > 1.0
+    assert g["pbs-ws"] > g["dyncta"]

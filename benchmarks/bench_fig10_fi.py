@@ -1,0 +1,24 @@
+"""Figure 10: fairness of every scheme, normalized to bestTLP."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig9 import run_fig10
+
+
+def test_fig10_fairness(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_fig10, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "fig10_fi", result.render())
+
+    g = {s: result.gmean(s) for s in result.schemes}
+
+    assert abs(g["besttlp"] - 1.0) < 1e-9
+    # The fairness oracle roughly doubles FI over the baseline (paper: ~2x).
+    assert g["opt-fi"] > 1.6
+    # Balancing scaled EBs recovers most of it exhaustively...
+    assert g["bf-fi"] > 0.7 * g["opt-fi"]
+    # ...and the pattern search keeps most of the brute-force benefit.
+    assert g["pbs-offline-fi"] > 0.8 * g["bf-fi"]
+    # The online controller improves fairness substantially over the
+    # baseline and over both prior heuristics.
+    assert g["pbs-fi"] > 1.2
+    assert g["pbs-fi"] > g["dyncta"]
+    assert g["pbs-fi"] > g["modbypass"]

@@ -1,0 +1,22 @@
+"""§VI-C: harmonic weighted speedup of every scheme (the PBS-HS story)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig9 import run_hs
+
+
+def test_hs_comparison(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_hs, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "hs_comparison", result.render())
+
+    g = {s: result.gmean(s) for s in result.schemes}
+
+    assert abs(g["besttlp"] - 1.0) < 1e-9
+    # HS blends throughput and fairness; the oracle gains are large.
+    assert g["opt-hs"] > 1.15
+    # EB-HS is a good proxy for SD-HS.
+    assert g["bf-hs"] > 0.85 * g["opt-hs"]
+    # The pattern search retains most of the exhaustive benefit.
+    assert g["pbs-offline-hs"] > 0.80 * g["bf-hs"]
+    # Online PBS-HS beats the baseline and the prior heuristics.
+    assert g["pbs-hs"] > 1.0
+    assert g["pbs-hs"] > g["dyncta"]

@@ -1,0 +1,31 @@
+"""Extension: tail-latency and occupancy view of TLP management."""
+
+from benchmarks.conftest import emit
+from repro.experiments.latency import run_latency_study
+
+
+def test_optws_compresses_victim_tail(benchmark, ctx, report_dir):
+    study = benchmark.pedantic(
+        run_latency_study, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(report_dir, "latency_tails", study.render())
+
+    base = "bestTLP+bestTLP"
+    opt = "optWS"
+    # Percentiles are ordered within every scenario.
+    for label in study.combos:
+        for app in (0, 1):
+            s = study.latency[label][app]
+            assert s["p50"] <= s["p95"] <= s["p99"]
+            assert s["count"] > 0
+    # The optWS combination throttles contention: system-wide memory
+    # pressure (mean DRAM queue depth) must not grow.
+    assert study.queue_depth[opt] <= study.queue_depth[base] * 1.1
+    # At least one application's P99 latency improves materially.
+    improvements = [
+        study.latency[base][a]["p99"] / max(study.latency[opt][a]["p99"], 1e-9)
+        for a in (0, 1)
+    ]
+    assert max(improvements) > 1.2, (
+        f"no tail compression observed: {improvements}"
+    )

@@ -1,0 +1,19 @@
+"""§V pattern survey: inflection consistency across every evaluated pair."""
+
+from benchmarks.conftest import emit
+from repro.experiments.patterns import run_pattern_survey
+
+
+def test_pattern_survey(benchmark, ctx, report_dir):
+    survey = benchmark.pedantic(
+        run_pattern_survey, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(report_dir, "pattern_survey", survey.render())
+
+    assert len(survey.consistency) == 25
+    # Patterns hold broadly: across both applications of every workload,
+    # inflection points cluster within one lattice step most of the time.
+    assert survey.mean_consistency > 0.6
+    # And that is precisely why PBS needs only a fraction of the surface
+    # (~12 probe + ~5 tune + up to 14 refinement samples vs 64).
+    assert survey.mean_samples < 35

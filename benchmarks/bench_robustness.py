@@ -1,0 +1,22 @@
+"""Seed robustness: the headline ordering is not a seed artifact."""
+
+from benchmarks.conftest import emit
+from repro.experiments.robustness import run_robustness
+
+
+def test_headline_ordering_is_seed_stable(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(
+        run_robustness, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(report_dir, "robustness", result.render())
+
+    # The oracle never loses to the baseline, under any seed.
+    assert result.ordering_stable("opt-ws", "besttlp")
+    # Brute-force EB search stays within reach of the oracle everywhere.
+    for seed in result.seeds:
+        g = result.gmeans[seed]
+        assert g["bf-ws"] >= 0.9 * g["opt-ws"]
+    # The searched scheme's gain over baseline is consistent in sign.
+    mean, std = result.spread("pbs-offline-ws")
+    assert mean > 1.0
+    assert std < 0.2, "gain varies too wildly across seeds"

@@ -1,0 +1,38 @@
+"""Extension: joint core-partition + TLP search."""
+
+from benchmarks.conftest import emit
+from repro.core.splitsearch import joint_split_search
+from repro.experiments.report import render_table
+
+
+def test_joint_split_search(benchmark, ctx, report_dir):
+    apps = ctx.pair_apps("BLK", "TRD")
+
+    choice = benchmark.pedantic(
+        joint_split_search,
+        args=(ctx.config, apps),
+        kwargs={"lengths": ctx.lengths, "seed": ctx.seed},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (f"{s[0]}+{s[1]} cores", str(combo), value)
+        for s, (combo, value) in sorted(choice.candidates.items())
+    ]
+    text = render_table(
+        ("core split", "PBS combo", "WS"),
+        rows,
+        title="Joint core-partition + TLP search (BLK_TRD)",
+    ) + f"\nchosen: split={choice.split} combo={choice.combo} WS={choice.value:.3f}"
+    emit(report_dir, "split_search", text)
+
+    # The joint search must not lose to the equal-split PBS choice it
+    # contains as a candidate.
+    equal = tuple(
+        s for s in choice.candidates if s[0] == s[1]
+    )
+    assert equal, "equal split must be among the candidates"
+    assert choice.value >= choice.candidates[equal[0]][1] - 1e-9
+    # The chosen configuration is well-formed.
+    assert sum(choice.split) <= ctx.config.n_cores
+    assert all(lv in ctx.config.tlp_levels for lv in choice.combo)

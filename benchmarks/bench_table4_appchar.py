@@ -1,0 +1,22 @@
+"""Table IV: application characterization (IPC/EB at bestTLP, groups)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.table4 import group_scale_factors, run_table4
+
+
+def test_table4_characterization(benchmark, ctx, report_dir):
+    result = benchmark.pedantic(run_table4, args=(ctx,), rounds=1, iterations=1)
+    emit(report_dir, "table4_appchar", result.render())
+
+    assert len(result.rows) == 26
+    groups = result.groups
+    # The quantile bucketing spreads the zoo across all four groups.
+    for g in ("G1", "G2", "G3", "G4"):
+        assert len(groups[g]) >= 4, f"{g} must hold a real share of the zoo"
+    # EB spread: the top group's mean EB is far above the bottom's.
+    assert result.group_mean_eb("G4") > 2 * result.group_mean_eb("G1")
+    # The canonical behaviours land on the expected side of the spread.
+    assert result.row("BFS").eb > result.row("GUPS").eb
+    # Group scaling factors (the paper's user-supplied mode) are usable.
+    scale = group_scale_factors(result, ("BFS", "FFT"))
+    assert all(s > 0 for s in scale)

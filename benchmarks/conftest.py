@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+:mod:`repro.experiments`.  Simulation products are cached on disk under
+``results/`` (see :class:`repro.experiments.common.ResultStore`), so the
+first run of the suite simulates everything and later runs re-render
+from cache.  Rendered figures/tables are also written to
+``results/reports/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import medium_config
+from repro.experiments.common import ExperimentContext
+
+REPORTS_DIR = Path(__file__).resolve().parents[1] / "results" / "reports"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The campaign context used by every figure/table benchmark."""
+    return ExperimentContext(config=medium_config())
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    return REPORTS_DIR
+
+
+def emit(report_dir: Path, name: str, text: str) -> None:
+    """Print a rendered figure/table and archive it under results/reports."""
+    print(f"\n{text}")
+    (report_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fairness case study: when one application monopolizes the memory system.
+
+Co-schedules a cache-friendly application (JPEG by default) with a
+bandwidth hog (TRD) and compares the bestTLP baseline, the online PBS-FI
+controller, and the optFI oracle.  PBS-FI balances the two applications'
+*scaled* effective bandwidths — it estimates each application's alone-EB
+by sampling with the co-runner throttled to TLP=1, then searches for the
+TLP combination that equalizes EB_i / aloneEB_i.
+
+Usage:
+    python examples/fairness.py [APP_A APP_B]
+"""
+
+import sys
+
+from repro import (
+    RunLengths,
+    evaluate_scheme,
+    medium_config,
+    pair,
+    profile_alone,
+    profile_surface,
+    workload_name,
+)
+
+
+def main(argv: list[str]) -> None:
+    names = (argv[1], argv[2]) if len(argv) >= 3 else ("JPEG", "TRD")
+    config = medium_config()
+    apps = list(pair(*names))
+    lengths = RunLengths()
+
+    alone = [
+        profile_alone(config, app, config.n_cores // 2, lengths=lengths)
+        for app in apps
+    ]
+    print(f"Workload {workload_name(names)}; alone bestTLPs: "
+          + ", ".join(f"{p.abbr}={p.best_tlp}" for p in alone))
+
+    print("Profiling the 64-combination surface for the oracle...")
+    surface = profile_surface(config, apps, lengths=lengths)
+
+    header = (f"{'scheme':>10s} {'combo':>10s} {'FI':>6s} {'WS':>6s} "
+              f"{'SD-' + names[0]:>8s} {'SD-' + names[1]:>8s}")
+    print(header)
+    print("-" * len(header))
+    for scheme in ("besttlp", "pbs-fi", "opt-fi"):
+        r = evaluate_scheme(config, apps, scheme, alone, surface,
+                            lengths=lengths)
+        print(f"{scheme:>10s} {str(r.combo):>10s} {r.fi:6.3f} {r.ws:6.3f} "
+              f"{r.sds[0]:8.3f} {r.sds[1]:8.3f}")
+
+    print(
+        "\nAn FI of 1.0 means both applications suffer equally; the "
+        "baseline lets\nthe bandwidth hog starve its neighbour, and PBS-FI "
+        "closes most of the gap\nto the exhaustive-search oracle with a "
+        "handful of runtime samples."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: co-schedule two GPGPU applications and let PBS manage TLP.
+
+Runs the paper's BLK_TRD workload three ways — each application at its
+alone-best TLP (the baseline), at maximum TLP, and under the online
+PBS-WS controller — and reports system throughput (WS), fairness (FI),
+and per-application effective bandwidth.
+
+Usage:
+    python examples/quickstart.py [APP_A APP_B]
+"""
+
+import sys
+
+from repro import (
+    RunLengths,
+    evaluate_scheme,
+    medium_config,
+    pair,
+    profile_alone,
+    workload_name,
+)
+
+
+def main(argv: list[str]) -> None:
+    names = (argv[1], argv[2]) if len(argv) >= 3 else ("BLK", "TRD")
+    config = medium_config()
+    apps = list(pair(*names))
+    lengths = RunLengths()
+
+    print(f"Profiling {names[0]} and {names[1]} alone to find bestTLP...")
+    alone = [
+        profile_alone(config, app, config.n_cores // 2, lengths=lengths)
+        for app in apps
+    ]
+    for profile in alone:
+        print(
+            f"  {profile.abbr}: bestTLP={profile.best_tlp}, "
+            f"alone IPC={profile.ipc_alone:.3f}, alone EB={profile.eb_alone:.3f}"
+        )
+
+    print(f"\nCo-scheduling {workload_name(names)} "
+          f"on a {config.n_cores}-core GPU:")
+    header = f"{'scheme':>10s} {'TLP combo':>12s} {'WS':>6s} {'FI':>6s} " \
+             f"{'EB-1':>6s} {'EB-2':>6s}"
+    print(header)
+    print("-" * len(header))
+    for scheme in ("besttlp", "maxtlp", "pbs-ws"):
+        result = evaluate_scheme(config, apps, scheme, alone, lengths=lengths)
+        print(
+            f"{scheme:>10s} {str(result.combo):>12s} {result.ws:6.3f} "
+            f"{result.fi:6.3f} {result.ebs[0]:6.3f} {result.ebs[1]:6.3f}"
+        )
+
+    print(
+        "\nPBS finds the TLP combination that maximizes total effective "
+        "bandwidth,\nrecovering throughput the bestTLP combination leaves "
+        "on the table."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

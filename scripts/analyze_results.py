@@ -1,0 +1,52 @@
+"""Dashboard over the results cache.
+
+Loads every cached scheme evaluation and prints, per workload and in
+aggregate, the normalized WS/FI/HS of each scheme — a quick way to
+inspect the campaign without re-rendering individual figures.
+
+Usage: python scripts/analyze_results.py [--metric ws|fi|hs]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import medium_config
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import geomean, render_table
+from repro.workloads.generator import EVALUATED_PAIRS
+
+SCHEMES = ("besttlp", "maxtlp", "dyncta", "modbypass",
+           "pbs-ws", "pbs-fi", "pbs-hs",
+           "pbs-offline-ws", "pbs-offline-fi", "pbs-offline-hs",
+           "bf-ws", "bf-fi", "bf-hs", "opt-ws", "opt-fi", "opt-hs")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metric", choices=("ws", "fi", "hs"), default="ws")
+    args = parser.parse_args()
+
+    ctx = ExperimentContext(config=medium_config())
+    rows = []
+    per_scheme: dict[str, list[float]] = {s: [] for s in SCHEMES}
+    for names in EVALUATED_PAIRS:
+        apps = ctx.pair_apps(*names)
+        results = {s: ctx.scheme(apps, s) for s in SCHEMES}
+        base = getattr(results["besttlp"], args.metric)
+        row = ["_".join(names)]
+        for s in SCHEMES:
+            value = getattr(results[s], args.metric) / max(base, 1e-12)
+            per_scheme[s].append(value)
+            row.append(value)
+        rows.append(tuple(row))
+    rows.append(("Gmean",) + tuple(geomean(per_scheme[s]) for s in SCHEMES))
+    print(render_table(
+        ("workload",) + SCHEMES, rows,
+        title=f"All schemes, normalized {args.metric.upper()} "
+              f"(base: bestTLP+bestTLP)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

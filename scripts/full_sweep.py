@@ -1,0 +1,40 @@
+"""Full evaluation sweep: all schemes on all 25 evaluated pairs."""
+import math
+import sys
+import time
+
+from repro import medium_config
+from repro.experiments.common import ExperimentContext
+from repro.workloads.generator import EVALUATED_PAIRS
+
+SCHEMES = ("besttlp", "maxtlp", "dyncta", "ccws", "modbypass",
+           "pbs-ws", "pbs-fi", "pbs-hs",
+           "pbs-offline-ws", "pbs-offline-fi", "pbs-offline-hs",
+           "bf-ws", "bf-fi", "bf-hs",
+           "opt-ws", "opt-fi", "opt-hs")
+
+def main():
+    ctx = ExperimentContext(config=medium_config())
+    rows = {}
+    for pair_names in EVALUATED_PAIRS:
+        name = "_".join(pair_names)
+        apps = ctx.pair_apps(*pair_names)
+        t0 = time.time()
+        rows[name] = {s: ctx.scheme(apps, s) for s in SCHEMES}
+        r = rows[name]
+        print(f"{name:10s} ({time.time()-t0:5.1f}s) "
+              f"WS: base={r['besttlp'].ws:.2f} pbs={r['pbs-ws'].ws:.2f} "
+              f"off={r['pbs-offline-ws'].ws:.2f} bf={r['bf-ws'].ws:.2f} opt={r['opt-ws'].ws:.2f} | "
+              f"FI: base={r['besttlp'].fi:.2f} pbs={r['pbs-fi'].fi:.2f} "
+              f"bf={r['bf-fi'].fi:.2f} opt={r['opt-fi'].fi:.2f}", flush=True)
+    print("\n=== normalized gmeans (vs besttlp) ===")
+    for metric, attr in (("WS", "ws"), ("FI", "fi"), ("HS", "hs")):
+        print(f"--- {metric} ---")
+        for s in SCHEMES:
+            vals = [getattr(rows[w][s], attr) / max(getattr(rows[w]["besttlp"], attr), 1e-9)
+                    for w in rows]
+            g = math.exp(sum(math.log(max(v, 1e-9)) for v in vals) / len(vals))
+            print(f"  {s:16s} {g:.3f}")
+
+if __name__ == "__main__":
+    main()

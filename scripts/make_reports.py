@@ -1,0 +1,55 @@
+"""Regenerate every figure/table report into results/reports/.
+
+Usage: python scripts/make_reports.py
+Relies on the disk cache in results/; cold runs simulate everything.
+"""
+from pathlib import Path
+
+from repro import medium_config, paper_config
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9, run_fig10, run_hs
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.table4 import run_table4
+
+OUT = Path(__file__).resolve().parents[1] / "results" / "reports"
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    ctx = ExperimentContext(config=medium_config())
+    jobs = [
+        ("fig01_motivation", lambda: run_fig1(ctx).render()),
+        ("fig02_tlp_effects", lambda: run_fig2(ctx).render()),
+        ("fig03_eb_hierarchy", lambda: run_fig3(ctx).render()),
+        ("table4_appchar", lambda: run_table4(ctx).render()),
+        ("fig04_resource_split", lambda: run_fig4(ctx).render()),
+        ("fig05_alone_ratios", lambda: run_fig5(ctx).render()),
+        ("fig06_patterns", lambda: run_fig6(ctx).render()),
+        ("fig07_pbs_fi_hs", lambda: run_fig7(ctx).render()),
+        ("fig08_overheads", lambda: run_fig8(paper_config()).render()),
+        ("fig09_ws", lambda: run_fig9(ctx).render()),
+        ("fig10_fi", lambda: run_fig10(ctx).render()),
+        ("hs_comparison", lambda: run_hs(ctx).render()),
+        ("fig11_tlp_timeline", lambda: (
+            run_fig11(ctx, ("BLK", "BFS"), "pbs-ws").render()
+            + "\n\n" + run_fig11(ctx, ("BLK", "BFS"), "pbs-fi").render()
+        )),
+    ]
+    for name, job in jobs:
+        text = job()
+        (OUT / f"{name}.txt").write_text(text + "\n")
+        print(f"=== {name} ===")
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Recompute PBS scheme evaluations (v2 search) on all evaluated pairs."""
+import sys
+from repro import medium_config
+from repro.experiments.common import ExperimentContext
+from repro.workloads.generator import EVALUATED_PAIRS
+
+schemes = sys.argv[1:] or ["pbs-offline-ws", "pbs-offline-fi", "pbs-offline-hs",
+                           "pbs-ws", "pbs-fi", "pbs-hs"]
+ctx = ExperimentContext(config=medium_config())
+for names in EVALUATED_PAIRS:
+    apps = ctx.pair_apps(*names)
+    line = []
+    for s in schemes:
+        r = ctx.scheme(apps, s)
+        line.append(f"{s}={r.ws:.2f}/{r.fi:.2f}")
+    print(f"{'_'.join(names):10s} " + " ".join(line), flush=True)

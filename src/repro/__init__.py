@@ -1,0 +1,113 @@
+"""repro — reproduction of "Efficient and Fair Multi-programming in GPUs
+via Effective Bandwidth Management" (HPCA 2018).
+
+Quickstart::
+
+    from repro import (
+        medium_config, app_by_abbr, profile_alone, profile_surface,
+        evaluate_scheme,
+    )
+
+    cfg = medium_config()
+    apps = [app_by_abbr("BLK"), app_by_abbr("TRD")]
+    alone = [profile_alone(cfg, a, cfg.n_cores // 2) for a in apps]
+    surface = profile_surface(cfg, apps)
+    pbs = evaluate_scheme(cfg, apps, "pbs-ws", alone, surface)
+    base = evaluate_scheme(cfg, apps, "besttlp", alone, surface)
+    print(f"PBS-WS improves WS by {pbs.ws / base.ws - 1:+.1%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.config import (
+    MAX_TLP,
+    TLP_LEVELS,
+    CacheGeometry,
+    DRAMTimings,
+    GPUConfig,
+    medium_config,
+    paper_config,
+    small_config,
+)
+from repro.core.controller import StaticController, TLPController
+from repro.core.ccws import CCWSController
+from repro.core.dyncta import DynCTAController
+from repro.core.modbypass import ModBypassController
+from repro.core.offline import (
+    brute_force_search,
+    oracle_search,
+    pbs_offline_search,
+    sampled_scale,
+)
+from repro.core.pbs import PBSController, SearchLog, pbs_search
+from repro.core.runner import (
+    ALL_SCHEMES,
+    AloneProfile,
+    RunLengths,
+    SchemeResult,
+    evaluate_scheme,
+    profile_alone,
+    profile_surface,
+    run_combo,
+)
+from repro.core.tlp import all_combos, clamp_level, level_down, level_up
+from repro.metrics.bandwidth import (
+    alone_ratio,
+    combined_miss_rate,
+    eb_fi,
+    eb_hs,
+    eb_objective,
+    eb_ws,
+    effective_bandwidth,
+)
+from repro.metrics.slowdown import (
+    fairness_index,
+    harmonic_speedup,
+    sd_objective,
+    slowdown,
+    weighted_speedup,
+)
+from repro.sim.engine import SimResult, Simulator
+from repro.sim.stats import WindowSample
+from repro.workloads.generator import (
+    EVALUATED_PAIRS,
+    REPRESENTATIVE_PAIRS,
+    all_pairs,
+    pair,
+    triple,
+    workload_name,
+)
+from repro.workloads.phases import PhasedProfile
+from repro.workloads.synthetic import AppProfile, WarpAddressStream
+from repro.workloads.table4 import APPLICATIONS, app_by_abbr
+from repro.workloads.trace import Trace, TraceProfile, record_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # config
+    "GPUConfig", "DRAMTimings", "CacheGeometry",
+    "paper_config", "medium_config", "small_config",
+    "TLP_LEVELS", "MAX_TLP",
+    # simulator
+    "Simulator", "SimResult", "WindowSample",
+    # workloads
+    "AppProfile", "WarpAddressStream", "APPLICATIONS", "app_by_abbr",
+    "pair", "triple", "all_pairs", "workload_name",
+    "REPRESENTATIVE_PAIRS", "EVALUATED_PAIRS",
+    "PhasedProfile", "Trace", "TraceProfile", "record_trace",
+    # metrics
+    "slowdown", "weighted_speedup", "fairness_index", "harmonic_speedup",
+    "sd_objective", "combined_miss_rate", "effective_bandwidth",
+    "eb_ws", "eb_fi", "eb_hs", "eb_objective", "alone_ratio",
+    # policies
+    "TLPController", "StaticController", "PBSController", "pbs_search",
+    "SearchLog", "DynCTAController", "CCWSController", "ModBypassController",
+    "brute_force_search", "oracle_search", "pbs_offline_search",
+    "sampled_scale",
+    # runner
+    "ALL_SCHEMES", "RunLengths", "AloneProfile", "SchemeResult",
+    "profile_alone", "profile_surface", "run_combo", "evaluate_scheme",
+    "all_combos", "clamp_level", "level_up", "level_down",
+]

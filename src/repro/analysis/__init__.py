@@ -1,0 +1,17 @@
+"""Analytical-model validation (§III-B of the paper)."""
+
+from repro.analysis.model import (
+    LinearFit,
+    fit_ipc_vs_eb,
+    predict_ws_from_eb,
+    validate_eq1,
+    validate_eq5,
+)
+
+__all__ = [
+    "LinearFit",
+    "fit_ipc_vs_eb",
+    "predict_ws_from_eb",
+    "validate_eq1",
+    "validate_eq5",
+]

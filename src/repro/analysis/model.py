@@ -1,0 +1,108 @@
+"""The paper's analytical model, checked against simulation.
+
+§III-B derives two relationships that justify optimizing EB-based
+metrics:
+
+* **Equation 1** — within an application, performance is proportional
+  to effective bandwidth: ``IPC ∝ EB / r_m``.  Since r_m is fixed per
+  application, IPC should be a *linear* function of EB across TLP
+  levels and co-runner interference alike.
+
+* **Equation 5** — system throughput decomposes over EBs scaled by the
+  alone values: ``WS ≈ EB1/EB1_alone + EB2/EB2_alone`` (the unscaled
+  sum EB-WS inherits a bias of at most the EB alone-ratio, which
+  Figure 5 shows is small).
+
+:func:`validate_eq1` fits the linear model per application over a
+profiled TLP surface and reports R²; :func:`validate_eq5` compares the
+EB-predicted WS against the measured WS across all combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runner import AloneProfile
+    from repro.sim.engine import SimResult
+
+__all__ = [
+    "LinearFit",
+    "fit_ipc_vs_eb",
+    "predict_ws_from_eb",
+    "validate_eq1",
+    "validate_eq5",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line y = slope * x + intercept with its R²."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def _fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need at least two paired observations")
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r2=r2, n=len(x))
+
+
+def fit_ipc_vs_eb(points: list[tuple[float, float]]) -> LinearFit:
+    """Fit IPC = k * EB + c over (eb, ipc) observations (Equation 1)."""
+    arr = np.asarray(points, dtype=float)
+    return _fit(arr[:, 0], arr[:, 1])
+
+
+def validate_eq1(
+    surface: "dict[tuple[int, ...], SimResult]", app_id: int
+) -> LinearFit:
+    """Equation 1 on a co-run surface: one application's IPC vs its EB
+    across all 64 TLP combinations (co-runner interference included)."""
+    points = [
+        (result.samples[app_id].eb, result.samples[app_id].ipc)
+        for result in surface.values()
+    ]
+    return fit_ipc_vs_eb(points)
+
+
+def predict_ws_from_eb(
+    result: "SimResult", alone: "list[AloneProfile]"
+) -> float:
+    """Equation 5's prediction: WS ≈ sum of alone-scaled EBs."""
+    return sum(
+        result.samples[a].eb / max(alone[a].eb_alone, 1e-12)
+        for a in range(len(alone))
+    )
+
+
+def validate_eq5(
+    surface: "dict[tuple[int, ...], SimResult]", alone: "list[AloneProfile]"
+) -> LinearFit:
+    """Regress measured WS on the EB-predicted WS across the surface."""
+    xs, ys = [], []
+    for result in surface.values():
+        xs.append(predict_ws_from_eb(result, alone))
+        ys.append(
+            sum(
+                result.samples[a].ipc / alone[a].ipc_alone
+                for a in range(len(alone))
+            )
+        )
+    return _fit(np.asarray(xs), np.asarray(ys))

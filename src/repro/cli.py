@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``profile APP [APP...]``
+    Alone-profile applications: bestTLP, IPC and EB per TLP level.
+
+``run APP_A APP_B [--scheme S] [--seed N]``
+    Evaluate one scheme on a two-application workload.
+
+``compare APP_A APP_B [--schemes S1,S2,...]``
+    Evaluate several schemes side by side on one workload.
+
+``table4``
+    Regenerate the Table IV characterization for the whole zoo.
+
+``zoo``
+    List the 26 applications and their memory-signature parameters.
+
+All commands accept ``--config {paper,medium,small}`` and ``--quick``
+(short test-scale runs).  Heavy products are cached under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.config import GPUConfig, medium_config, paper_config, small_config
+from repro.core.runner import ALL_SCHEMES, RunLengths
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+from repro.experiments.table4 import run_table4
+from repro.workloads.table4 import APPLICATIONS, app_by_abbr
+
+__all__ = ["main", "build_parser"]
+
+_CONFIGS = {
+    "paper": paper_config,
+    "medium": medium_config,
+    "small": small_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Effective-bandwidth TLP management for multi-programmed "
+        "GPUs (HPCA 2018 reproduction)",
+    )
+    parser.add_argument("--config", choices=sorted(_CONFIGS), default="medium",
+                        help="GPU scale preset (default: medium)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short test-scale simulations")
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_profile = sub.add_parser("profile", help="alone-profile applications")
+    p_profile.add_argument("apps", nargs="+", metavar="APP")
+
+    p_run = sub.add_parser("run", help="evaluate one scheme on a pair")
+    p_run.add_argument("apps", nargs=2, metavar="APP")
+    p_run.add_argument("--scheme", default="pbs-ws", choices=ALL_SCHEMES)
+
+    p_compare = sub.add_parser("compare", help="compare schemes on a pair")
+    p_compare.add_argument("apps", nargs=2, metavar="APP")
+    p_compare.add_argument(
+        "--schemes",
+        default="besttlp,maxtlp,dyncta,modbypass,pbs-ws,opt-ws",
+        help="comma-separated scheme names",
+    )
+
+    sub.add_parser("table4", help="regenerate the Table IV characterization")
+    sub.add_parser("zoo", help="list the application zoo")
+    return parser
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    config: GPUConfig = _CONFIGS[args.config]()
+    lengths = RunLengths.quick() if args.quick else RunLengths()
+    return ExperimentContext(config=config, lengths=lengths, seed=args.seed)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    for abbr in args.apps:
+        profile = ctx.alone(app_by_abbr(abbr))
+        rows = [
+            (lv, s.ipc, s.bw, s.cmr, s.eb,
+             "<- bestTLP" if lv == profile.best_tlp else "")
+            for lv, s in sorted(profile.sweep.items())
+        ]
+        print(render_table(
+            ("TLP", "IPC", "BW", "CMR", "EB", ""),
+            rows,
+            title=f"{profile.abbr}: alone profile "
+            f"(bestTLP={profile.best_tlp})",
+        ))
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    apps = ctx.pair_apps(*args.apps)
+    result = ctx.scheme(apps, args.scheme)
+    print(render_table(
+        ("metric", "value"),
+        [
+            ("TLP combo", str(result.combo)),
+            ("WS", result.ws),
+            ("FI", result.fi),
+            ("HS", result.hs),
+            (f"SD-{args.apps[0]}", result.sds[0]),
+            (f"SD-{args.apps[1]}", result.sds[1]),
+            (f"EB-{args.apps[0]}", result.ebs[0]),
+            (f"EB-{args.apps[1]}", result.ebs[1]),
+        ],
+        title=f"{result.workload} under {args.scheme}",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    apps = ctx.pair_apps(*args.apps)
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    unknown = [s for s in schemes if s not in ALL_SCHEMES]
+    if unknown:
+        print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = []
+    for scheme in schemes:
+        r = ctx.scheme(apps, scheme)
+        rows.append((scheme, str(r.combo), r.ws, r.fi, r.hs))
+    print(render_table(
+        ("scheme", "combo", "WS", "FI", "HS"),
+        rows,
+        title=f"scheme comparison on {'_'.join(args.apps)}",
+    ))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    print(run_table4(_context(args)).render())
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    rows = [
+        (p.abbr, p.r_m, p.coalesce, "yes" if p.divergent else "no",
+         p.footprint_lines, p.p_reuse, p.p_seq, p.shared_frac)
+        for p in APPLICATIONS
+    ]
+    print(render_table(
+        ("app", "r_m", "coal", "div", "footprint", "reuse", "seq", "shared"),
+        rows,
+        title="Table IV application zoo (synthetic memory signatures)",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "profile": _cmd_profile,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "table4": _cmd_table4,
+    "zoo": _cmd_zoo,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as exc:  # unknown application abbreviation
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+"""Configuration for the simulated GPU.
+
+The geometry and timing here follow Table I of the paper (a generic
+GPGPU-Sim-style GPU with private L1 data caches, a sliced shared L2, a
+crossbar interconnect, and six GDDR5 memory controllers scheduled with
+FR-FCFS).  Everything is expressed in *core cycles*: we run the whole
+model in one clock domain and fold the core/interconnect/DRAM clock
+ratios into the latency and bandwidth parameters.
+
+Three presets are provided:
+
+``paper_config``
+    Full-scale geometry matching the paper (24 cores, 6 channels).
+    Used by the benchmark harness.
+
+``medium_config``
+    A half-scale GPU that keeps the cache-per-warp and bandwidth-per-core
+    ratios of the paper configuration so contention behaviour is
+    preserved, while simulating ~4x faster.  Default for experiments.
+
+``small_config``
+    A tiny GPU for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DRAMTimings",
+    "CacheGeometry",
+    "GPUConfig",
+    "paper_config",
+    "medium_config",
+    "small_config",
+    "TLP_LEVELS",
+    "MAX_TLP",
+]
+
+#: TLP levels evaluated in the paper (warps per scheduler, per core).  The
+#: maximum is 24 because each core supports 48 warps split over two warp
+#: schedulers.  Eight levels per application yield the paper's 64
+#: two-application combinations.
+TLP_LEVELS: tuple[int, ...] = (1, 2, 4, 6, 8, 12, 16, 24)
+
+#: The maximum TLP value (``maxTLP`` in the paper).
+MAX_TLP: int = TLP_LEVELS[-1]
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """GDDR5-like DRAM timing parameters, in core cycles.
+
+    Based on the Hynix GDDR5 timings cited in Table I (t_CL=12, t_RP=12,
+    t_RAS=28, t_CCD=2, t_RCD=12, t_RRD=6, memory clock 924 MHz vs. a
+    1400 MHz core clock; we round the clock-domain conversion into the
+    values below).
+    """
+
+    t_cl: int = 18  # CAS latency
+    t_rp: int = 18  # row precharge
+    t_rcd: int = 18  # RAS-to-CAS delay
+    t_ras: int = 42  # row-active minimum
+    t_ccd: int = 3  # column-to-column (same bank group burst gap)
+    t_rrd: int = 9  # activate-to-activate, different banks
+    burst_cycles: int = 6  # data-bus occupancy of one 128B line transfer
+
+    @property
+    def row_hit_service(self) -> int:
+        """Cycles from scheduling a row-buffer hit to data on the bus."""
+        return self.t_cl
+
+    @property
+    def row_miss_service(self) -> int:
+        """Cycles for a precharge + activate + CAS sequence."""
+        return self.t_rp + self.t_rcd + self.t_cl
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache array."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 128
+    mshr_entries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} is not divisible by "
+                f"assoc({self.assoc}) * line({self.line_bytes})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full description of the simulated GPU.
+
+    The defaults correspond to the paper-scale machine; use the preset
+    constructors rather than instantiating this directly.
+    """
+
+    # --- cores -----------------------------------------------------------
+    n_cores: int = 24
+    warp_size: int = 32
+    max_warps_per_core: int = 48
+    schedulers_per_core: int = 2
+    issue_width: int = 2  # instructions issued per core per cycle (total)
+
+    # --- caches ----------------------------------------------------------
+    l1: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=16 * 1024, assoc=4)
+    )
+    l2_per_channel: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=256 * 1024, assoc=16)
+    )
+
+    # --- memory system ----------------------------------------------------
+    n_channels: int = 6
+    banks_per_channel: int = 16
+    bank_groups_per_channel: int = 4
+    interleave_bytes: int = 256  # global address space interleaving chunk
+    row_bytes: int = 2048  # DRAM row-buffer size per bank
+    dram: DRAMTimings = field(default_factory=DRAMTimings)
+    frfcfs_cap: int = 4  # max consecutive row hits before oldest-first
+    dram_queue_depth: int = 48  # per-channel request queue (backpressures L2)
+
+    # --- latencies (core cycles) -----------------------------------------
+    l1_hit_latency: int = 28
+    l2_hit_latency: int = 120
+    icnt_latency: int = 40  # one-way crossbar traversal
+    icnt_flits_per_cycle_per_port: float = 1.0
+
+    # --- simulation control ------------------------------------------------
+    tlp_levels: tuple[int, ...] = TLP_LEVELS
+    base_seed: int = 0xEB  # mixed into per-warp stream seeds
+
+    def __post_init__(self) -> None:
+        if self.n_cores % 2:
+            raise ValueError("n_cores must be even to split between two apps")
+        if self.max_warps_per_core % self.schedulers_per_core:
+            raise ValueError("max_warps_per_core must divide evenly")
+        if max(self.tlp_levels) > self.max_tlp:
+            raise ValueError(
+                f"tlp_levels {self.tlp_levels} exceed max TLP {self.max_tlp}"
+            )
+
+    # --- derived quantities -----------------------------------------------
+    @property
+    def max_tlp(self) -> int:
+        """Maximum warps per scheduler (``maxTLP`` in the paper)."""
+        return self.max_warps_per_core // self.schedulers_per_core
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes
+
+    @property
+    def peak_bw_lines_per_cycle(self) -> float:
+        """Peak DRAM bandwidth, in cache lines per core cycle (all channels)."""
+        return self.n_channels / self.dram.burst_cycles
+
+    @property
+    def l2_total_bytes(self) -> int:
+        return self.l2_per_channel.size_bytes * self.n_channels
+
+    def with_(self, **kwargs) -> "GPUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def paper_config() -> GPUConfig:
+    """Paper-scale GPU (Table I geometry)."""
+    return GPUConfig()
+
+
+def medium_config() -> GPUConfig:
+    """Half-scale GPU preserving cache/BW per-core ratios; ~4x faster."""
+    return GPUConfig(
+        n_cores=8,
+        n_channels=2,
+        l1=CacheGeometry(size_bytes=16 * 1024, assoc=4),
+        l2_per_channel=CacheGeometry(size_bytes=256 * 1024, assoc=16),
+    )
+
+
+def small_config() -> GPUConfig:
+    """Tiny GPU for unit tests; single-digit-millisecond simulations."""
+    return GPUConfig(
+        n_cores=2,
+        n_channels=1,
+        banks_per_channel=4,
+        bank_groups_per_channel=2,
+        l1=CacheGeometry(size_bytes=4 * 1024, assoc=4, mshr_entries=16),
+        l2_per_channel=CacheGeometry(size_bytes=32 * 1024, assoc=8),
+        max_warps_per_core=48,
+        tlp_levels=TLP_LEVELS,
+    )

@@ -1,0 +1,58 @@
+"""TLP management for multi-programmed GPUs — the paper's contribution.
+
+This package contains:
+
+* :mod:`repro.core.tlp` — the TLP level lattice and combination helpers;
+* :mod:`repro.core.controller` — the runtime-controller interface the
+  simulator invokes every sampling window (the PBS hardware unit of
+  Figure 8);
+* :mod:`repro.core.pbs` — Pattern-Based Searching (PBS-WS / PBS-FI /
+  PBS-HS), both the pure search algorithm and the online controller;
+* :mod:`repro.core.offline` — PBS-Offline, the brute-force EB searches
+  (BF-*), and the SD-metric oracles (optWS / optFI / optHS);
+* :mod:`repro.core.dyncta` — the DynCTA latency-driven baseline;
+* :mod:`repro.core.modbypass` — the Mod+Bypass baseline (TLP modulation
+  plus cache bypassing);
+* :mod:`repro.core.runner` — high-level entry points: alone profiling,
+  scheme dispatch, and workload evaluation.
+"""
+
+from repro.core.controller import StaticController, TLPController
+from repro.core.ccws import CCWSController
+from repro.core.dyncta import DynCTAController
+from repro.core.modbypass import ModBypassController
+from repro.core.offline import brute_force_search, oracle_search, pbs_offline_search
+from repro.core.pbs import PBSController, pbs_search
+from repro.core.splitsearch import joint_split_search, live_pbs_search
+from repro.core.runner import (
+    AloneProfile,
+    SchemeResult,
+    evaluate_scheme,
+    profile_alone,
+    run_combo,
+)
+from repro.core.tlp import all_combos, clamp_level, level_down, level_up
+
+__all__ = [
+    "TLPController",
+    "StaticController",
+    "PBSController",
+    "pbs_search",
+    "DynCTAController",
+    "CCWSController",
+    "ModBypassController",
+    "brute_force_search",
+    "oracle_search",
+    "pbs_offline_search",
+    "joint_split_search",
+    "live_pbs_search",
+    "AloneProfile",
+    "SchemeResult",
+    "profile_alone",
+    "evaluate_scheme",
+    "run_combo",
+    "all_combos",
+    "clamp_level",
+    "level_up",
+    "level_down",
+]

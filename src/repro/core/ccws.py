@@ -1,0 +1,84 @@
+"""CCWS-style baseline: cache-conscious warp throttling.
+
+Cache-Conscious Wavefront Scheduling (Rogers et al., MICRO 2012) is the
+other canonical single-application TLP technique the paper cites
+alongside DynCTA (§I, §IV).  Where DynCTA reacts to memory *latency*,
+CCWS reacts to *lost intra-warp locality*: when the L1 working set of
+the active warps exceeds capacity, hits turn into misses and CCWS
+throttles the number of schedulable warps until locality is recovered.
+
+Our window-granularity analogue uses the same observable the simulator's
+PBS hardware already samples — the L1 miss rate — with a victim-tag
+proxy: a rise of the L1 miss rate above the application's best observed
+miss rate by more than ``loss_margin`` indicates lost locality and
+throttles one lattice step; a window whose miss rate sits within the
+margin releases one step.  Like DynCTA, decisions are purely local to
+each application: the co-runner's shared-resource consumption is never
+consulted, which is exactly the blind spot the paper's mechanisms fix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import TLP_LEVELS
+from repro.core.controller import BaseController, DEFAULT_SAMPLE_PERIOD
+from repro.core.tlp import clamp_level, level_down, level_up
+from repro.sim.stats import WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["CCWSController"]
+
+
+class CCWSController(BaseController):
+    """L1-locality-driven warp throttling, independently per application."""
+
+    def __init__(
+        self,
+        n_apps: int,
+        loss_margin: float = 0.08,
+        initial_tlp: int | None = None,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        levels: tuple[int, ...] = TLP_LEVELS,
+    ) -> None:
+        super().__init__(sample_period)
+        if not 0.0 < loss_margin < 1.0:
+            raise ValueError("loss_margin must be a fraction in (0, 1)")
+        self.n_apps = n_apps
+        self.loss_margin = loss_margin
+        self.levels = levels
+        self.initial_tlp = initial_tlp if initial_tlp is not None else levels[-1]
+        self.tlp: dict[int, int] = {}
+        #: best (lowest) L1 miss rate seen per application — the locality
+        #: baseline the victim-tag array would estimate
+        self.best_l1_mr: dict[int, float] = {}
+        self.decisions: list[tuple[float, int, int]] = []
+
+    def start(self, sim: "Simulator", now: float) -> None:
+        start_level = clamp_level(self.initial_tlp, self.levels)
+        for app in range(self.n_apps):
+            self.tlp[app] = start_level
+            self.best_l1_mr[app] = 1.0
+            sim.set_tlp(app, start_level)
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:
+        for app in range(self.n_apps):
+            sample = windows[app]
+            if sample.l1_miss_rate < self.best_l1_mr[app]:
+                self.best_l1_mr[app] = sample.l1_miss_rate
+            lost = sample.l1_miss_rate - self.best_l1_mr[app]
+            current = self.tlp[app]
+            if lost > self.loss_margin:
+                target = level_down(current, self.levels)
+            elif lost < self.loss_margin / 2:
+                target = level_up(current, self.levels)
+            else:
+                continue
+            if target != current:
+                self.tlp[app] = target
+                self.decisions.append((now, app, target))
+                self.actuate(sim, app, target)

@@ -1,0 +1,104 @@
+"""Runtime TLP-controller interface and shared machinery.
+
+The hardware proposal (Figure 8) samples per-application L1/L2 miss
+rates and attained bandwidth every monitoring window, relays them to the
+cores, and lets a small unit in the warp-issue arbiter retarget each
+application's warp limit.  In the simulator, a controller object plays
+that unit's role: :class:`repro.sim.engine.Simulator` calls
+``on_window`` every ``sample_period`` cycles with the per-application
+:class:`~repro.sim.stats.WindowSample` deltas.
+
+Actuation latency: the paper conservatively charges 100 cycles for the
+memory partitions to relay counter values to the cores.  Controllers
+here apply TLP changes through :meth:`BaseController.actuate`, which
+delays the change by that amount.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.sim.stats import WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "TLPController",
+    "BaseController",
+    "StaticController",
+    "COUNTER_RELAY_CYCLES",
+    "DEFAULT_SAMPLE_PERIOD",
+]
+
+#: Latency for relaying sampled counters from the designated memory
+#: partition to the cores (paper §V-E: "a latency of 100 cycles").
+COUNTER_RELAY_CYCLES = 100
+
+#: Default monitoring-window length per sampled TLP combination.  The
+#: paper empirically found that trends do not change significantly
+#: beyond a window of a few thousand cycles.
+DEFAULT_SAMPLE_PERIOD = 3000
+
+
+class TLPController(Protocol):
+    """What the simulator requires of a runtime TLP controller."""
+
+    sample_period: float
+
+    def start(self, sim: "Simulator", now: float) -> None:
+        """Called once when simulation begins (set initial TLP here)."""
+        ...
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:
+        """Called at the end of each sampling window."""
+        ...
+
+
+class BaseController:
+    """Common helpers: delayed actuation and window bookkeeping."""
+
+    def __init__(self, sample_period: float = DEFAULT_SAMPLE_PERIOD) -> None:
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        self.sample_period = sample_period
+
+    def actuate(self, sim: "Simulator", app_id: int, tlp: int) -> None:
+        """Apply a TLP change after the counter-relay latency."""
+        sim.events.push(
+            sim.events.now + COUNTER_RELAY_CYCLES,
+            lambda _t, a=app_id, v=tlp: sim.set_tlp(a, v),
+        )
+
+    def start(self, sim: "Simulator", now: float) -> None:  # pragma: no cover
+        """Default: leave the initial TLP as the run configured it."""
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StaticController(BaseController):
+    """A controller that sets a fixed combination and never changes it.
+
+    Useful for measuring window logs of static schemes through the same
+    code path as the dynamic ones.
+    """
+
+    def __init__(
+        self, combo: dict[int, int], sample_period: float = DEFAULT_SAMPLE_PERIOD
+    ) -> None:
+        super().__init__(sample_period)
+        self.combo = dict(combo)
+
+    def start(self, sim: "Simulator", now: float) -> None:
+        for app_id, tlp in self.combo.items():
+            sim.set_tlp(app_id, tlp)
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:
+        pass

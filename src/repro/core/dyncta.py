@@ -1,0 +1,76 @@
+"""DynCTA baseline: per-application latency-driven TLP modulation.
+
+DynCTA (Kayiran et al., PACT 2013) tunes each application's parallelism
+from purely *local* signals: when cores spend their time waiting on a
+congested memory system, parallelism is reduced; when they are latency-
+tolerant and idle, it is increased.  Crucially — and this is the paper's
+point in §IV — it never looks at what the co-scheduled application is
+doing to the shared L2 and DRAM, so each application still tries to
+maximize its own throughput.
+
+We drive the same actuator as PBS (the SWL warp limit) from the same
+sampled windows, using each application's average memory latency as the
+congestion signal with high/low watermarks and one lattice step per
+window, which mirrors DynCTA's gradual CTA-count adjustments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import TLP_LEVELS
+from repro.core.controller import BaseController, DEFAULT_SAMPLE_PERIOD
+from repro.core.tlp import clamp_level, level_down, level_up
+from repro.sim.stats import WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["DynCTAController"]
+
+
+class DynCTAController(BaseController):
+    """Latency-watermark TLP modulation, independently per application."""
+
+    def __init__(
+        self,
+        n_apps: int,
+        lat_high: float = 1500.0,
+        lat_low: float = 600.0,
+        initial_tlp: int | None = None,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        levels: tuple[int, ...] = TLP_LEVELS,
+    ) -> None:
+        super().__init__(sample_period)
+        if lat_low >= lat_high:
+            raise ValueError("lat_low watermark must be below lat_high")
+        self.n_apps = n_apps
+        self.lat_high = lat_high
+        self.lat_low = lat_low
+        self.levels = levels
+        self.initial_tlp = initial_tlp if initial_tlp is not None else levels[-1]
+        self.tlp: dict[int, int] = {}
+        self.decisions: list[tuple[float, int, int]] = []
+
+    def start(self, sim: "Simulator", now: float) -> None:
+        start_level = clamp_level(self.initial_tlp, self.levels)
+        for app in range(self.n_apps):
+            self.tlp[app] = start_level
+            sim.set_tlp(app, start_level)
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:
+        for app in range(self.n_apps):
+            sample = windows[app]
+            current = self.tlp[app]
+            if sample.avg_mem_latency > self.lat_high:
+                target = level_down(current, self.levels)
+            elif sample.avg_mem_latency < self.lat_low:
+                target = level_up(current, self.levels)
+            else:
+                continue
+            if target != current:
+                self.tlp[app] = target
+                self.decisions.append((now, app, target))
+                self.actuate(sim, app, target)

@@ -1,0 +1,115 @@
+"""Offline TLP-combination searches: BF-*, opt*, and PBS-Offline (§VI).
+
+All three operate on a *profiled surface*: one short steady-state
+simulation per TLP combination (64 for two applications), mapping each
+combination to the per-application samples observed under it.
+
+* ``brute_force_search`` (BF-WS / BF-FI / BF-HS) exhaustively picks the
+  combination maximizing an **EB-based** metric — the upper bound on
+  what optimizing EB proxies can deliver.
+* ``oracle_search`` (optWS / optFI / optHS) exhaustively picks the
+  combination maximizing the **SD-based** metric itself, using
+  alone-run IPCs — the true oracle the paper normalizes against.
+* ``pbs_offline_search`` runs the PBS algorithm over the surface —
+  the same search logic as the online controller, but with noise-free
+  steady-state samples and zero runtime overhead (the paper's
+  "PBS (Offline)" comparison point that decouples the search quality
+  from runtime effects).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.pbs import PROBE_LEVELS, SearchLog, pbs_search
+from repro.metrics.bandwidth import eb_objective
+from repro.metrics.slowdown import sd_objective
+from repro.sim.engine import SimResult
+
+__all__ = [
+    "brute_force_search",
+    "oracle_search",
+    "pbs_offline_search",
+    "sampled_scale",
+]
+
+Surface = Mapping[tuple[int, ...], SimResult]
+
+
+def _ebs(result: SimResult, n_apps: int) -> list[float]:
+    return [result.samples[a].eb for a in range(n_apps)]
+
+
+def sampled_scale(
+    surface: Surface, n_apps: int, ref_level: int = 8, min_level: int = 1
+) -> list[float]:
+    """Estimate alone-EB scaling factors from the surface.
+
+    Mirrors the paper's runtime approximation: measure each application
+    at a reference TLP while every co-runner runs at the least TLP, so
+    they "induce the least amount of interference possible" (§IV).
+    """
+    scale: list[float] = []
+    for app in range(n_apps):
+        combo = tuple(ref_level if a == app else min_level for a in range(n_apps))
+        if combo not in surface:
+            raise KeyError(f"surface is missing the scale-probe combination {combo}")
+        scale.append(max(surface[combo].samples[app].eb, 1e-6))
+    return scale
+
+
+def brute_force_search(
+    surface: Surface,
+    metric: str,
+    n_apps: int,
+    scale: Sequence[float] | None = None,
+) -> tuple[int, ...]:
+    """BF-*: the combination with the best EB-based metric on the surface."""
+    if not surface:
+        raise ValueError("empty surface")
+    return max(
+        surface,
+        key=lambda combo: eb_objective(metric, _ebs(surface[combo], n_apps), scale),
+    )
+
+
+def oracle_search(
+    surface: Surface, metric: str, alone_ipcs: Sequence[float]
+) -> tuple[int, ...]:
+    """opt*: the combination with the best SD-based metric on the surface."""
+    if not surface:
+        raise ValueError("empty surface")
+    if any(ipc <= 0 for ipc in alone_ipcs):
+        raise ValueError("alone IPCs must be positive")
+
+    def sd_obj(combo: tuple[int, ...]) -> float:
+        result = surface[combo]
+        sds = [
+            result.samples[a].ipc / alone_ipcs[a] for a in range(len(alone_ipcs))
+        ]
+        return sd_objective(metric, sds)
+
+    return max(surface, key=sd_obj)
+
+
+def pbs_offline_search(
+    surface: Surface,
+    metric: str,
+    n_apps: int,
+    scale: Sequence[float] | None = None,
+    probe_levels: Sequence[int] = PROBE_LEVELS,
+) -> tuple[tuple[int, ...], SearchLog]:
+    """PBS (Offline): drive the PBS generator with surface samples."""
+    log = SearchLog()
+    search = pbs_search(
+        metric, n_apps, scale=scale, probe_levels=probe_levels, log=log
+    )
+    try:
+        combo = next(search)
+        while True:
+            if combo not in surface:
+                raise KeyError(f"surface is missing combination {combo}")
+            ebs = {a: surface[combo].samples[a].eb for a in range(n_apps)}
+            combo = search.send(ebs)
+    except StopIteration as stop:
+        return stop.value, log

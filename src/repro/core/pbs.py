@@ -1,0 +1,401 @@
+"""Pattern-Based Searching (PBS) — §V of the paper.
+
+The goal is to find the TLP combination optimizing an EB-based metric
+(EB-WS, EB-FI or EB-HS) with a handful of runtime samples instead of an
+exhaustive sweep of all 64 combinations.  The search exploits two
+guidelines and one empirical observation:
+
+* **Guideline 1** — combinations that under-utilize shared resources are
+  never optimal, so probing keeps the co-runners at maxTLP.
+* **Guideline 2** — an application's EB drops sharply once the growth in
+  its attained bandwidth can no longer compensate for the growth in its
+  miss rate (its *inflection point*).
+* **Patterns** — the inflection point of an application sits at the same
+  TLP level regardless of the co-runner's TLP, so it can be located once
+  and trusted afterwards.
+
+The search therefore has three stages (§V-B..D):
+
+1. *Probe*: sweep each application's TLP through the probe levels while
+   the other runs at maxTLP, recording the EB metric.
+2. *Criticality*: the application whose sweep moves the metric the most
+   is critical; its TLP is pinned at its inflection point (WS/HS) or at
+   the most balanced level (FI).
+3. *Tune*: walk the non-critical application's TLP upward until the
+   metric stops improving; keep the best level seen.
+4. *Refine* (one pass): re-sweep each application over the full lattice
+   holding the others at their chosen levels, keeping the best sample.
+   This coordinate-descent pass costs a handful of extra samples (most
+   are already memoized) and recovers the cases where the co-runner's
+   final level shifts an inflection point slightly — the possibility
+   the paper notes in §V-B but never observed on its machine.
+
+:func:`pbs_search` is the pure algorithm, written as a generator so the
+same logic drives both the online hardware controller
+(:class:`PBSController`, which samples by actually running each
+combination for one monitoring window) and the offline variant
+(:func:`repro.core.offline.pbs_offline_search`, which samples from
+pre-profiled steady-state runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import TLP_LEVELS
+from repro.core.controller import BaseController, DEFAULT_SAMPLE_PERIOD
+from repro.metrics.bandwidth import eb_objective
+from repro.sim.stats import WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+__all__ = ["pbs_search", "PBSController", "SearchLog", "PROBE_LEVELS"]
+
+#: TLP levels probed during the criticality sweep (paper: "1, 2, 4, 8,
+#: etc." — a geometric walk up the lattice).
+PROBE_LEVELS: tuple[int, ...] = (1, 2, 4, 8, 16, 24)
+
+#: Consecutive non-improving tune steps tolerated before stopping (the
+#: paper stops when the metric "no more increases"; one extra step of
+#: patience absorbs sampling noise).
+TUNE_PATIENCE = 2
+
+
+@dataclass
+class SearchLog:
+    """Trace of one PBS search, for analysis and the pattern figures."""
+
+    samples: list[tuple[tuple[int, ...], dict[int, float]]] = field(
+        default_factory=list
+    )
+    critical_app: int | None = None
+    fixed_level: int | None = None
+    final_combo: tuple[int, ...] | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+
+Sampler = Generator[tuple[int, ...], dict[int, float], tuple[int, ...]]
+
+
+def pbs_search(
+    metric: str,
+    n_apps: int,
+    scale: Sequence[float] | None = None,
+    levels: Sequence[int] = TLP_LEVELS,
+    probe_levels: Sequence[int] = PROBE_LEVELS,
+    log: SearchLog | None = None,
+) -> Sampler:
+    """The PBS algorithm as a sampling generator.
+
+    Yields TLP combinations to sample; the driver ``send``s back the
+    per-application EB dict observed under that combination.  The
+    generator's return value (``StopIteration.value``) is the chosen
+    combination.  Repeated combinations are served from a memo, so the
+    number of *distinct* samples is what the hardware would take.
+    """
+    if metric not in ("ws", "fi", "hs"):
+        raise ValueError(f"unknown PBS metric {metric!r}")
+    if n_apps < 2:
+        raise ValueError("PBS manages multi-application workloads (n_apps >= 2)")
+    log = log if log is not None else SearchLog()
+    memo: dict[tuple[int, ...], dict[int, float]] = {}
+    max_level = levels[-1]
+
+    def objective(ebs: dict[int, float]) -> float:
+        return eb_objective(metric, [ebs[a] for a in range(n_apps)], scale)
+
+    def sample(combo: tuple[int, ...]) -> Generator[tuple[int, ...], dict[int, float], dict[int, float]]:
+        if combo in memo:
+            return memo[combo]
+        ebs = yield combo
+        memo[combo] = ebs
+        log.samples.append((combo, ebs))
+        return ebs
+
+    # --- stage 1: probe each application with co-runners at maxTLP -----
+    sweeps: dict[int, list[float]] = {}
+    for app in range(n_apps):
+        series: list[float] = []
+        for level in probe_levels:
+            combo = tuple(level if a == app else max_level for a in range(n_apps))
+            ebs = yield from sample(combo)
+            series.append(objective(ebs))
+        sweeps[app] = series
+
+    # --- stage 2: criticality and the inflection point -------------------
+    def criticality(series: list[float]) -> float:
+        if metric == "fi":
+            return max(series) - min(series)  # how much this app moves balance
+        drops = [series[k] - series[k + 1] for k in range(len(series) - 1)]
+        return max(drops) if drops else 0.0
+
+    def fix_level_of(series: list[float]) -> int:
+        if metric == "fi":
+            return probe_levels[max(range(len(series)), key=series.__getitem__)]
+        drops = [series[k] - series[k + 1] for k in range(len(series) - 1)]
+        if drops and max(drops) > 0:
+            # the level just before the sharpest drop (Guideline 2)
+            return probe_levels[max(range(len(drops)), key=drops.__getitem__)]
+        return probe_levels[max(range(len(series)), key=series.__getitem__)]
+
+    order = sorted(range(n_apps), key=lambda a: criticality(sweeps[a]), reverse=True)
+    critical = order[0]
+    chosen: dict[int, int] = {critical: fix_level_of(sweeps[critical])}
+    log.critical_app = critical
+    log.fixed_level = chosen[critical]
+
+    # --- stage 3: tune the non-critical applications upward ----------------
+    for app in order[1:]:
+        best_level, best_obj = None, float("-inf")
+        worse_streak = 0
+        for level in levels:
+            combo = tuple(
+                chosen.get(a, level if a == app else max_level)
+                for a in range(n_apps)
+            )
+            ebs = yield from sample(combo)
+            obj = objective(ebs)
+            if obj > best_obj:
+                best_level, best_obj = level, obj
+                worse_streak = 0
+            else:
+                worse_streak += 1
+                if worse_streak >= TUNE_PATIENCE:
+                    break
+        assert best_level is not None
+        chosen[app] = best_level
+
+    # --- stage 4: one coordinate-descent refinement pass --------------------
+    for app in order:
+        current = tuple(chosen[a] for a in range(n_apps))
+        ebs = yield from sample(current)
+        # Ties keep the level the pattern stages chose.
+        best_level, best_obj = chosen[app], objective(ebs)
+        for level in levels:
+            if level == chosen[app]:
+                continue
+            combo = tuple(
+                level if a == app else chosen[a] for a in range(n_apps)
+            )
+            ebs = yield from sample(combo)
+            obj = objective(ebs)
+            if obj > best_obj:
+                best_level, best_obj = level, obj
+        chosen[app] = best_level
+
+    final = tuple(chosen[a] for a in range(n_apps))
+    ebs = yield from sample(final)
+    # The sampling table (Figure 8) retains every combination visited;
+    # keep the tuned combination unless an earlier sample strictly beat it.
+    final_obj = objective(ebs)
+    best = max(memo, key=lambda c: objective(memo[c]))
+    if objective(memo[best]) > final_obj:
+        final = best
+    log.final_combo = final
+    return final
+
+
+class PBSController(BaseController):
+    """The online PBS hardware unit (Figure 8).
+
+    Every monitoring window it reads the sampled per-application EB
+    values, feeds them to the search, and actuates the next combination
+    to try; once the search completes it pins the chosen combination.
+    All search windows execute at whatever combination is being sampled,
+    so the runtime overhead of searching is paid inside the simulation,
+    exactly as on hardware.
+
+    Scaling factors for EB-FI / EB-HS (§IV) come in three flavours:
+
+    * ``scale=None`` — raw EB values (always used for EB-WS);
+    * ``scale="sampled"`` — before searching, estimate each
+      application's alone-EB by running it at a reference TLP while
+      every co-runner is dropped to TLP 1 for one window;
+    * ``scale=<sequence>`` — user-supplied factors (the paper's
+      per-group averages from Table IV).
+
+    If the settled metric later degrades persistently — a change in
+    interference the chosen combination no longer suits — the search is
+    restarted (the paper restarts PBS on kernel re-launch; a steady-state
+    simulation's analogue is drift detection).
+    """
+
+    #: reference TLP for alone-EB sampling when ``scale="sampled"``
+    SCALE_REFERENCE_TLP = 8
+    #: settled-metric degradation that triggers a re-search (the window
+    #: objective oscillates, so the threshold is deliberately deep and
+    #: the patience long)
+    DRIFT_RATIO = 0.5
+    #: consecutive degraded windows required before re-searching
+    DRIFT_PATIENCE = 4
+    #: windows discarded after each actuation so in-flight transients
+    #: (drained warps, queue backlogs) do not pollute the sample
+    SETTLE_WINDOWS = 1
+    #: windows averaged per sampled combination: per-window EB readings
+    #: fluctuate with burst interleaving, so each combination is scored
+    #: on a short average rather than a single window
+    MEASURE_WINDOWS = 2
+    #: drift-triggered re-searches allowed per run (the paper restarts
+    #: PBS on kernel re-launch; unbounded restarts would let sampling
+    #: noise keep the controller searching forever)
+    MAX_RESEARCHES = 2
+
+    def __init__(
+        self,
+        metric: str,
+        n_apps: int = 2,
+        scale: str | Sequence[float] | None = None,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        levels: Sequence[int] = TLP_LEVELS,
+        probe_levels: Sequence[int] = PROBE_LEVELS,
+        warmup_windows: int = 10,
+    ) -> None:
+        super().__init__(sample_period)
+        if metric not in ("ws", "fi", "hs"):
+            raise ValueError(f"unknown PBS metric {metric!r}")
+        self.metric = metric
+        self.n_apps = n_apps
+        self.warmup_windows = warmup_windows
+        self.levels = tuple(levels)
+        self.probe_levels = tuple(probe_levels)
+        self.scale_mode = scale
+        self.log = SearchLog()
+        self.search_count = 0
+        self._scale: list[float] | None = (
+            list(scale) if isinstance(scale, (list, tuple)) else None
+        )
+        self._scale_pending: list[int] = []
+        self._search: Sampler | None = None
+        self._settled = False
+        self._settled_obj: float | None = None
+        self._drift = 0
+        self._skip = 0
+        self._acc: list[dict[int, float]] = []
+
+    # --- lifecycle -----------------------------------------------------
+
+    def start(self, sim: "Simulator", now: float) -> None:
+        if self.scale_mode == "sampled" and self.metric in ("fi", "hs"):
+            self._scale = [0.0] * self.n_apps
+            self._scale_pending = list(range(self.n_apps))
+            self._apply_scale_probe(sim, self._scale_pending[0])
+        else:
+            self._begin_search(sim)
+        # Let caches warm before the first sample is trusted: cold-start
+        # windows would mislead the criticality sweep.
+        self._skip += self.warmup_windows
+
+    def _apply_scale_probe(self, sim: "Simulator", app: int) -> None:
+        """Run ``app`` at the reference TLP with co-runners at TLP 1."""
+        for a in range(self.n_apps):
+            sim.set_tlp(a, self.SCALE_REFERENCE_TLP if a == app else 1)
+        self._skip = self.SETTLE_WINDOWS
+        self._acc = []
+
+    def _begin_search(self, sim: "Simulator") -> None:
+        self.search_count += 1
+        self.log = SearchLog()
+        self._search = pbs_search(
+            self.metric,
+            self.n_apps,
+            scale=self._scale,
+            levels=self.levels,
+            probe_levels=self.probe_levels,
+            log=self.log,
+        )
+        self._settled = False
+        self._settled_obj = None
+        self._drift = 0
+        first_combo = next(self._search)
+        self._actuate_combo(sim, first_combo)
+
+    def _actuate_combo(self, sim: "Simulator", combo: tuple[int, ...]) -> None:
+        for app, tlp in enumerate(combo):
+            self.actuate(sim, app, tlp)
+        self._skip = self.SETTLE_WINDOWS
+        self._acc = []
+
+    # --- per-window ------------------------------------------------------
+
+    def _collect(self, windows: dict[int, WindowSample]) -> dict[int, float] | None:
+        """Accumulate measure windows; return their mean when complete."""
+        self._acc.append({a: windows[a].eb for a in range(self.n_apps)})
+        if len(self._acc) < self.MEASURE_WINDOWS:
+            return None
+        mean = {
+            a: sum(w[a] for w in self._acc) / len(self._acc)
+            for a in range(self.n_apps)
+        }
+        self._acc = []
+        return mean
+
+    def on_window(
+        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+    ) -> None:
+        if self._skip > 0:
+            self._skip -= 1
+            return
+
+        searching = self._scale_pending or (
+            self._search is not None and not self._settled
+        )
+        if searching:
+            ebs = self._collect(windows)
+            if ebs is None:
+                return
+        else:
+            ebs = {a: windows[a].eb for a in range(self.n_apps)}
+
+        if self._scale_pending:
+            app = self._scale_pending.pop(0)
+            assert self._scale is not None
+            # Guard against a degenerate zero sample (e.g. an app that
+            # produced no DRAM traffic in the window).
+            self._scale[app] = max(ebs[app], 1e-6)
+            if self._scale_pending:
+                self._apply_scale_probe(sim, self._scale_pending[0])
+            else:
+                self._begin_search(sim)
+            return
+
+        if self._search is not None and not self._settled:
+            try:
+                combo = self._search.send(ebs)
+            except StopIteration as stop:
+                final: tuple[int, ...] = stop.value
+                self._actuate_combo(sim, final)
+                self._settled = True
+                return
+            self._actuate_combo(sim, combo)
+            return
+
+        # Settled: monitor for drift and re-search if the chosen
+        # combination stops delivering.
+        obj = eb_objective(self.metric, [ebs[a] for a in range(self.n_apps)],
+                           self._scale)
+        if self._settled_obj is None:
+            self._settled_obj = obj
+            return
+        if obj < self.DRIFT_RATIO * self._settled_obj:
+            self._drift += 1
+            if (
+                self._drift >= self.DRIFT_PATIENCE
+                and self.search_count <= self.MAX_RESEARCHES
+            ):
+                self._begin_search(sim)
+            return
+        self._drift = 0
+        # exponential moving average keeps the reference fresh
+        self._settled_obj = 0.8 * self._settled_obj + 0.2 * obj
+
+    # --- results -----------------------------------------------------------
+
+    @property
+    def final_combo(self) -> tuple[int, ...] | None:
+        return self.log.final_combo

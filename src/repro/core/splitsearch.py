@@ -1,0 +1,132 @@
+"""Joint core-partition + TLP search (extension).
+
+The paper fixes an equal core split and searches TLP; its §VI-D
+sensitivity study shows the TLP patterns survive under other splits.
+The natural next step — treat the *core partition itself* as one more
+knob — is implemented here: for each candidate split, run the PBS
+search live (each sample is a short profiling simulation at that
+split), then pick the (split, TLP combination) pair that maximizes the
+SD metric computed against per-split alone runs.
+
+Because PBS needs only ~26 samples per split instead of the 64-combo
+surface, the joint search stays affordable: ``splits x ~26`` short
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config import GPUConfig
+from repro.core.pbs import SearchLog, pbs_search
+from repro.core.runner import AloneProfile, RunLengths, profile_alone, run_combo
+from repro.metrics.slowdown import sd_objective
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.synthetic import AppProfile
+
+__all__ = ["SplitChoice", "live_pbs_search", "joint_split_search",
+           "candidate_splits"]
+
+
+def candidate_splits(n_cores: int, n_apps: int = 2) -> list[tuple[int, ...]]:
+    """Core splits to consider: equal plus one-step-skewed variants."""
+    if n_apps != 2:
+        raise ValueError("joint split search currently handles two apps")
+    half = n_cores // 2
+    quarter = max(1, n_cores // 4)
+    raw = [(half, n_cores - half),
+           (quarter, n_cores - quarter),
+           (n_cores - quarter, quarter)]
+    return sorted({s for s in raw if s[0] >= 1 and s[1] >= 1})
+
+
+def live_pbs_search(
+    config: GPUConfig,
+    apps: "list[AppProfile]",
+    metric: str = "ws",
+    lengths: RunLengths = RunLengths(),
+    seed: int | None = None,
+    core_split: tuple[int, ...] | None = None,
+) -> tuple[tuple[int, ...], SearchLog]:
+    """Drive the PBS generator with fresh short simulations per sample.
+
+    Unlike :func:`repro.core.offline.pbs_offline_search`, no full
+    surface is required: only the ~26 combinations the search visits
+    are simulated.
+    """
+    log = SearchLog()
+    search = pbs_search(metric, len(apps), log=log)
+    try:
+        combo = next(search)
+        while True:
+            result = run_combo(
+                config, apps, combo,
+                lengths.profile_cycles, lengths.profile_warmup,
+                seed=seed, core_split=core_split,
+            )
+            ebs = {a: result.samples[a].eb for a in range(len(apps))}
+            combo = search.send(ebs)
+    except StopIteration as stop:
+        return stop.value, log
+
+
+@dataclass
+class SplitChoice:
+    """Outcome of the joint search."""
+
+    split: tuple[int, ...]
+    combo: tuple[int, ...]
+    value: float  # SD metric at the chosen (split, combo)
+    #: every candidate: split -> (combo, value)
+    candidates: dict[tuple[int, ...], tuple[tuple[int, ...], float]]
+
+
+def joint_split_search(
+    config: GPUConfig,
+    apps: "list[AppProfile]",
+    metric: str = "ws",
+    lengths: RunLengths = RunLengths(),
+    seed: int | None = None,
+    splits: list[tuple[int, ...]] | None = None,
+) -> SplitChoice:
+    """Search core splits and TLP combinations jointly.
+
+    Slowdowns for each candidate are computed against alone runs *on
+    that split's core counts*, per the paper's SD definition.
+    """
+    splits = splits if splits is not None else candidate_splits(config.n_cores)
+    candidates: dict[tuple[int, ...], tuple[tuple[int, ...], float]] = {}
+    alone_cache: dict[tuple[int, int], AloneProfile] = {}
+
+    def alone_for(app_idx: int, n_cores: int) -> AloneProfile:
+        key = (app_idx, n_cores)
+        if key not in alone_cache:
+            alone_cache[key] = profile_alone(
+                config, apps[app_idx], n_cores, lengths=lengths, seed=seed
+            )
+        return alone_cache[key]
+
+    for split in splits:
+        combo, _log = live_pbs_search(
+            config, apps, metric=metric, lengths=lengths, seed=seed,
+            core_split=split,
+        )
+        result = run_combo(
+            config, apps, combo,
+            lengths.eval_cycles, lengths.eval_warmup,
+            seed=seed, core_split=split,
+        )
+        sds = [
+            result.samples[a].ipc / alone_for(a, split[a]).ipc_alone
+            for a in range(len(apps))
+        ]
+        candidates[split] = (combo, sd_objective(metric, sds))
+
+    best_split = max(candidates, key=lambda s: candidates[s][1])
+    best_combo, best_value = candidates[best_split]
+    return SplitChoice(
+        split=best_split, combo=best_combo, value=best_value,
+        candidates=candidates,
+    )

@@ -1,0 +1,57 @@
+"""The TLP level lattice (Table II) and combination helpers.
+
+TLP is controlled at warp granularity per application: a level is the
+number of warps each of the core's two schedulers may keep active.  The
+paper evaluates 8 levels per application — so a two-application workload
+has 64 combinations, which is what the brute-force and oracle searches
+enumerate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+from repro.config import TLP_LEVELS
+
+__all__ = ["all_combos", "clamp_level", "level_up", "level_down", "level_index"]
+
+
+def level_index(level: int, levels: Sequence[int] = TLP_LEVELS) -> int:
+    """Index of ``level`` in the lattice; raises if not a valid level."""
+    try:
+        return levels.index(level)  # type: ignore[arg-type]
+    except ValueError:
+        raise ValueError(f"TLP {level} is not one of the levels {tuple(levels)}") from None
+
+
+def clamp_level(tlp: int, levels: Sequence[int] = TLP_LEVELS) -> int:
+    """Snap an arbitrary warp count to the nearest lattice level."""
+    if tlp <= levels[0]:
+        return levels[0]
+    return min(levels, key=lambda lv: (abs(lv - tlp), lv))
+
+
+def level_up(level: int, levels: Sequence[int] = TLP_LEVELS) -> int:
+    """The next-higher lattice level (saturating at the top)."""
+    i = level_index(level, levels)
+    return levels[min(i + 1, len(levels) - 1)]
+
+
+def level_down(level: int, levels: Sequence[int] = TLP_LEVELS) -> int:
+    """The next-lower lattice level (saturating at the bottom)."""
+    i = level_index(level, levels)
+    return levels[max(i - 1, 0)]
+
+
+def all_combos(
+    n_apps: int, levels: Sequence[int] = TLP_LEVELS
+) -> Iterator[tuple[int, ...]]:
+    """Every TLP combination for ``n_apps`` applications.
+
+    For two applications and the default lattice this enumerates the 64
+    combinations of the paper's exhaustive searches.
+    """
+    if n_apps < 1:
+        raise ValueError("need at least one application")
+    return itertools.product(levels, repeat=n_apps)

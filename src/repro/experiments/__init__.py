@@ -1,0 +1,12 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each ``fig*.py`` / ``table4.py`` module exposes a ``run_*`` function that
+returns plain data structures (and can render them as ASCII tables via
+:mod:`repro.experiments.report`).  Heavy simulation results are cached on
+disk by :mod:`repro.experiments.common` so the benchmark suite can be
+re-run cheaply.
+"""
+
+from repro.experiments.common import ExperimentContext, ResultStore
+
+__all__ = ["ExperimentContext", "ResultStore"]

@@ -1,0 +1,290 @@
+"""Shared experiment machinery: disk-cached profiling and evaluation.
+
+Every experiment consumes three kinds of simulation products:
+
+* *alone profiles* — per-application bestTLP sweeps (Table IV, SD bases);
+* *surfaces* — one short run per TLP combination of a workload
+  (64 for pairs), feeding the brute-force/oracle/offline searches and
+  the pattern figures;
+* *scheme evaluations* — full runs of one scheme on one workload.
+
+All three are pure functions of (config, workload, run lengths, seed),
+so :class:`ResultStore` caches them as JSON under ``results/`` keyed by
+a fingerprint of those inputs.  Delete the directory to recompute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import GPUConfig
+from repro.core.runner import (
+    AloneProfile,
+    RunLengths,
+    SchemeResult,
+    evaluate_scheme,
+    profile_alone,
+    profile_surface,
+)
+from repro.sim.engine import SimResult
+from repro.sim.stats import WindowSample
+from repro.workloads.synthetic import AppProfile
+from repro.workloads.table4 import app_by_abbr
+
+__all__ = ["ResultStore", "ExperimentContext", "DEFAULT_RESULTS_DIR",
+           "SCHEME_VERSIONS"]
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Algorithm-version salts folded into scheme cache keys.  Bump a
+#: family's version when its controller/search logic changes so stale
+#: cached evaluations are recomputed — without discarding everything
+#: else (surfaces, alone profiles, other schemes).
+SCHEME_VERSIONS: dict[str, int] = {
+    "pbs": 2,  # v2: coordinate-descent refinement pass (stage 4)
+    "dyncta": 1,
+    "ccws": 1,
+    "modbypass": 1,
+    "static": 1,  # besttlp / maxtlp / bf-* / opt-*
+}
+
+
+def _scheme_version(scheme: str) -> int:
+    for family in ("pbs", "dyncta", "ccws", "modbypass"):
+        if scheme.startswith(family):
+            return SCHEME_VERSIONS[family]
+    return SCHEME_VERSIONS["static"]
+
+_SAMPLE_FIELDS = (
+    "app_id", "cycles", "insts", "ipc", "l1_miss_rate", "l2_miss_rate",
+    "cmr", "bw", "eb", "avg_mem_latency", "row_hit_rate",
+)
+
+
+def _sample_to_dict(sample: WindowSample) -> dict:
+    return {f: getattr(sample, f) for f in _SAMPLE_FIELDS}
+
+
+def _sample_from_dict(data: dict) -> WindowSample:
+    return WindowSample(**{f: data[f] for f in _SAMPLE_FIELDS})
+
+
+def _result_to_dict(result: SimResult) -> dict:
+    return {
+        "samples": {str(a): _sample_to_dict(s) for a, s in result.samples.items()},
+        "cycles": result.cycles,
+        "tlp_timeline": result.tlp_timeline,
+        "final_tlp": {str(a): t for a, t in result.final_tlp.items()},
+        "dram_utilization": result.dram_utilization,
+    }
+
+
+def _result_from_dict(data: dict) -> SimResult:
+    return SimResult(
+        samples={int(a): _sample_from_dict(s) for a, s in data["samples"].items()},
+        cycles=data["cycles"],
+        tlp_timeline=[tuple(t) for t in data["tlp_timeline"]],
+        final_tlp={int(a): t for a, t in data["final_tlp"].items()},
+        dram_utilization=data["dram_utilization"],
+    )
+
+
+def _fingerprint(*parts: object) -> str:
+    blob = json.dumps([repr(p) for p in parts], sort_keys=True).encode()
+    return hashlib.md5(blob).hexdigest()[:16]
+
+
+class ResultStore:
+    """JSON-on-disk memoization of simulation products."""
+
+    def __init__(self, root: Path | str = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.json"
+
+    def load(self, kind: str, key: str) -> dict | None:
+        path = self._path(kind, key)
+        if not path.exists():
+            return None
+        with path.open() as fh:
+            return json.load(fh)
+
+    def save(self, kind: str, key: str, data: dict) -> None:
+        path = self._path(kind, key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as fh:
+            json.dump(data, fh)
+        tmp.replace(path)
+
+
+@dataclass
+class ExperimentContext:
+    """Configuration + cache for one experimental campaign.
+
+    All experiment drivers take a context so tests can run them with a
+    tiny config and a temporary cache directory.
+    """
+
+    config: GPUConfig
+    lengths: RunLengths = dataclasses.field(default_factory=RunLengths)
+    seed: int = 1
+    store: ResultStore = dataclasses.field(default_factory=ResultStore)
+
+    # --- keys ------------------------------------------------------------
+
+    def _profile_key(self, *parts: object) -> str:
+        """Key for profiling products: only profile lengths matter."""
+        return _fingerprint(
+            dataclasses.asdict(self.config),
+            (self.lengths.profile_cycles, self.lengths.profile_warmup),
+            self.seed,
+            *parts,
+        )
+
+    def _key(self, *parts: object) -> str:
+        return _fingerprint(
+            dataclasses.asdict(self.config),
+            dataclasses.asdict(self.lengths),
+            self.seed,
+            *parts,
+        )
+
+    # --- alone profiles -----------------------------------------------------
+
+    def alone(self, app: AppProfile, n_cores: int | None = None) -> AloneProfile:
+        n_cores = n_cores if n_cores is not None else self.config.n_cores // 2
+        # The full profile repr is part of the key, so editing an
+        # application's parameters invalidates its cached products.
+        key = self._profile_key("alone", repr(app), n_cores)
+        cached = self.store.load("alone", key)
+        if cached is not None:
+            return AloneProfile(
+                abbr=cached["abbr"],
+                best_tlp=cached["best_tlp"],
+                ipc_alone=cached["ipc_alone"],
+                eb_alone=cached["eb_alone"],
+                sweep={
+                    int(lv): _sample_from_dict(s) for lv, s in cached["sweep"].items()
+                },
+            )
+        profile = profile_alone(
+            self.config, app, n_cores, lengths=self.lengths, seed=self.seed
+        )
+        self.store.save(
+            "alone",
+            key,
+            {
+                "abbr": profile.abbr,
+                "best_tlp": profile.best_tlp,
+                "ipc_alone": profile.ipc_alone,
+                "eb_alone": profile.eb_alone,
+                "sweep": {
+                    str(lv): _sample_to_dict(s) for lv, s in profile.sweep.items()
+                },
+            },
+        )
+        return profile
+
+    def alone_for(self, apps: list[AppProfile]) -> list[AloneProfile]:
+        n_cores = self.config.n_cores // len(apps)
+        return [self.alone(a, n_cores) for a in apps]
+
+    # --- surfaces ------------------------------------------------------------
+
+    def surface(
+        self, apps: list[AppProfile], core_split: tuple[int, ...] | None = None
+    ) -> dict[tuple[int, ...], SimResult]:
+        name = "_".join(a.abbr for a in apps)
+        key = self._profile_key("surface", tuple(repr(a) for a in apps), core_split)
+        cached = self.store.load("surface", key)
+        if cached is not None:
+            return {
+                tuple(json.loads(combo)): _result_from_dict(res)
+                for combo, res in cached.items()
+            }
+        surface = profile_surface(
+            self.config,
+            apps,
+            lengths=self.lengths,
+            seed=self.seed,
+            core_split=core_split,
+        )
+        self.store.save(
+            "surface",
+            key,
+            {json.dumps(list(c)): _result_to_dict(r) for c, r in surface.items()},
+        )
+        return surface
+
+    # --- scheme evaluations ----------------------------------------------------
+
+    def scheme(
+        self,
+        apps: list[AppProfile],
+        scheme: str,
+        core_split: tuple[int, ...] | None = None,
+    ) -> SchemeResult:
+        name = "_".join(a.abbr for a in apps)
+        version = _scheme_version(scheme)
+        # Version 1 keys keep the historical format so existing cached
+        # evaluations of unchanged scheme families remain valid.
+        parts = ("scheme", tuple(repr(a) for a in apps), scheme)
+        if version != 1:
+            parts += (f"v{version}",)
+        key = self._key(*parts, core_split)
+        cached = self.store.load("scheme", key)
+        alone = self.alone_for(apps)
+        if cached is not None:
+            return SchemeResult(
+                scheme=cached["scheme"],
+                workload=cached["workload"],
+                combo=tuple(cached["combo"]) if cached["combo"] else None,
+                sds=cached["sds"],
+                ws=cached["ws"],
+                fi=cached["fi"],
+                hs=cached["hs"],
+                ebs=cached["ebs"],
+                ipcs=cached["ipcs"],
+                result=_result_from_dict(cached["result"]),
+            )
+        needs_surface = scheme.startswith(("bf-", "opt-", "pbs-offline-"))
+        surface = self.surface(apps, core_split) if needs_surface else None
+        result = evaluate_scheme(
+            self.config,
+            apps,
+            scheme,
+            alone,
+            surface=surface,
+            lengths=self.lengths,
+            seed=self.seed,
+            core_split=core_split,
+            workload=name,
+        )
+        self.store.save(
+            "scheme",
+            key,
+            {
+                "scheme": result.scheme,
+                "workload": result.workload,
+                "combo": list(result.combo) if result.combo else None,
+                "sds": result.sds,
+                "ws": result.ws,
+                "fi": result.fi,
+                "hs": result.hs,
+                "ebs": result.ebs,
+                "ipcs": result.ipcs,
+                "result": _result_to_dict(result.result),
+            },
+        )
+        return result
+
+    # --- convenience ------------------------------------------------------------
+
+    def pair_apps(self, abbr_a: str, abbr_b: str) -> list[AppProfile]:
+        return [app_by_abbr(abbr_a), app_by_abbr(abbr_b)]

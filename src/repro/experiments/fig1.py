@@ -1,0 +1,50 @@
+"""Figure 1: the motivation — WS and FI of BFS_FFT under bestTLP+bestTLP,
+maxTLP+maxTLP, and the optWS / optFI oracles, normalized to
+bestTLP+bestTLP.
+
+The paper's point: running each application at its alone-best TLP is
+sub-optimal once they share the GPU; the oracle combinations deliver
+substantially higher throughput and fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+SCHEMES = ("besttlp", "maxtlp", "opt-ws", "opt-fi")
+
+
+@dataclass
+class Fig1Result:
+    workload: str
+    ws: dict[str, float]  # scheme -> normalized WS
+    fi: dict[str, float]  # scheme -> normalized FI
+    combos: dict[str, tuple[int, ...] | None]
+
+    def render(self) -> str:
+        rows = [
+            (s, self.ws[s], self.fi[s], str(self.combos[s])) for s in SCHEMES
+        ]
+        return render_table(
+            ("scheme", "WS (norm)", "FI (norm)", "TLP combo"),
+            rows,
+            title=f"Figure 1: motivation on {self.workload} "
+            f"(normalized to bestTLP+bestTLP)",
+        )
+
+
+def run_fig1(ctx: ExperimentContext, pair_names=("BFS", "FFT")) -> Fig1Result:
+    apps = ctx.pair_apps(*pair_names)
+    results = {s: ctx.scheme(apps, s) for s in SCHEMES}
+    base = results["besttlp"]
+    return Fig1Result(
+        workload=base.workload,
+        ws={s: r.ws / base.ws for s, r in results.items()},
+        fi={s: r.fi / base.fi for s, r in results.items()},
+        combos={s: r.combo for s, r in results.items()},
+    )

@@ -1,0 +1,108 @@
+"""Figure 11: TLP of each application over time under online PBS.
+
+For BLK_BFS the paper shows the per-application warp limit as PBS-WS and
+PBS-FI sample combinations and settle, including occasional mid-run
+re-tuning.  This experiment extracts the TLP timelines from the online
+runs and summarizes the phases (searching vs settled) and the dominant
+combination.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+
+__all__ = ["TimelineResult", "run_fig11"]
+
+
+@dataclass
+class TimelineResult:
+    workload: str
+    scheme: str
+    #: (start_time, tlp_app0, tlp_app1) segments
+    segments: list[tuple[float, int, int]]
+    total_cycles: float
+
+    def _dwell(self) -> Counter:
+        dwell: Counter = Counter()
+        for (start, a0, a1), nxt in zip(self.segments, self.segments[1:]):
+            dwell[(a0, a1)] += nxt[0] - start
+        if self.segments:
+            start, a0, a1 = self.segments[-1]
+            dwell[(a0, a1)] += self.total_cycles - start
+        return dwell
+
+    @property
+    def dominant_combo(self) -> tuple[int, int]:
+        dwell = self._dwell()
+        return max(dwell, key=dwell.__getitem__)
+
+    @property
+    def dominant_dwell_fraction(self) -> float:
+        """Fraction of the run spent at the dominant combination."""
+        dwell = self._dwell()
+        return dwell[self.dominant_combo] / self.total_cycles
+
+    @property
+    def n_changes(self) -> int:
+        return len(self.segments) - 1
+
+    @property
+    def settle_time(self) -> float:
+        """Start time of the final (settled) segment."""
+        return self.segments[-1][0] if self.segments else 0.0
+
+    def render(self) -> str:
+        shown = self.segments[:6] + (
+            [("...",) * 3] if len(self.segments) > 7 else []
+        ) + self.segments[-1:]
+        rows = [
+            (seg[0], seg[1], seg[2]) for seg in shown
+        ]
+        table = render_table(
+            ("cycle", "TLP-app0", "TLP-app1"),
+            rows,
+            title=f"Figure 11: TLP over time, {self.workload} under "
+            f"{self.scheme}",
+        )
+        return table + (
+            f"\nchanges={self.n_changes}  settled at cycle "
+            f"{self.settle_time:.0f}/{self.total_cycles:.0f}  dominant combo "
+            f"{self.dominant_combo}"
+        )
+
+
+def _segments(timeline, n_apps: int) -> list[tuple[float, int, int]]:
+    current = [0] * n_apps
+    segments: list[tuple[float, int, int]] = []
+    by_time: dict[float, dict[int, int]] = {}
+    for t, app, tlp in timeline:
+        by_time.setdefault(t, {})[app] = tlp
+    for t in sorted(by_time):
+        for app, tlp in by_time[t].items():
+            current[app] = tlp
+        segments.append((t, current[0], current[1]))
+    # merge consecutive identical combos
+    merged = [segments[0]]
+    for seg in segments[1:]:
+        if seg[1:] != merged[-1][1:]:
+            merged.append(seg)
+    return merged
+
+
+def run_fig11(
+    ctx: ExperimentContext,
+    pair_names=("BLK", "BFS"),
+    scheme: str = "pbs-ws",
+) -> TimelineResult:
+    apps = ctx.pair_apps(*pair_names)
+    result = ctx.scheme(apps, scheme)
+    return TimelineResult(
+        workload="_".join(pair_names),
+        scheme=scheme,
+        segments=_segments(result.result.tlp_timeline, 2),
+        total_cycles=ctx.lengths.dynamic_cycles,
+    )

@@ -1,0 +1,80 @@
+"""Figure 2: the effect of TLP on IPC, BW, CMR and EB for a single
+application (BFS in the paper), all normalized to its bestTLP values.
+
+The shapes to reproduce: IPC and BW rise with TLP until contention sets
+in; CMR grows monotonically at higher TLP; and EB — the combined metric —
+tracks IPC closely (Figure 2d), which is the empirical basis for using
+EB as the runtime optimization target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table, sparkline
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    abbr: str
+    best_tlp: int
+    levels: list[int]
+    ipc: list[float]  # normalized to bestTLP
+    bw: list[float]
+    cmr: list[float]
+    eb: list[float]
+
+    @property
+    def ipc_eb_correlation(self) -> float:
+        """Pearson correlation between the IPC and EB curves (Fig 2d)."""
+        n = len(self.ipc)
+        mi, me = sum(self.ipc) / n, sum(self.eb) / n
+        cov = sum((i - mi) * (e - me) for i, e in zip(self.ipc, self.eb))
+        vi = sum((i - mi) ** 2 for i in self.ipc)
+        ve = sum((e - me) ** 2 for e in self.eb)
+        if vi == 0 or ve == 0:
+            return 1.0
+        return cov / (vi * ve) ** 0.5
+
+    def render(self) -> str:
+        rows = [
+            (lv, i, b, c, e)
+            for lv, i, b, c, e in zip(
+                self.levels, self.ipc, self.bw, self.cmr, self.eb
+            )
+        ]
+        table = render_table(
+            ("TLP", "IPC", "BW", "CMR", "EB"),
+            rows,
+            title=(
+                f"Figure 2: effect of TLP on {self.abbr} "
+                f"(normalized to bestTLP={self.best_tlp})"
+            ),
+        )
+        shapes = (
+            f"\nIPC {sparkline(self.ipc)}   BW {sparkline(self.bw)}   "
+            f"CMR {sparkline(self.cmr)}   EB {sparkline(self.eb)}"
+        )
+        return table + shapes + (
+            f"\ncorr(IPC, EB) = {self.ipc_eb_correlation:.3f}"
+        )
+
+
+def run_fig2(ctx: ExperimentContext, abbr: str = "BFS") -> Fig2Result:
+    from repro.workloads.table4 import app_by_abbr
+
+    profile = ctx.alone(app_by_abbr(abbr))
+    best = profile.sweep[profile.best_tlp]
+    levels = sorted(profile.sweep)
+    return Fig2Result(
+        abbr=abbr,
+        best_tlp=profile.best_tlp,
+        levels=levels,
+        ipc=[profile.sweep[lv].ipc / best.ipc for lv in levels],
+        bw=[profile.sweep[lv].bw / best.bw for lv in levels],
+        cmr=[profile.sweep[lv].cmr / best.cmr for lv in levels],
+        eb=[profile.sweep[lv].eb / best.eb for lv in levels],
+    )

@@ -1,0 +1,62 @@
+"""Figure 3: effective bandwidth at each level of the memory hierarchy.
+
+EB is defined level by level: the DRAM interface attains BW (point A in
+the figure); the L2 amplifies it to BW / L2-miss-rate (point B); the L1
+amplifies that to BW / CMR, which is what the cores observe (point C).
+This experiment reports all three for an application at its bestTLP and
+verifies the invariant A <= B <= C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    abbr: str
+    best_tlp: int
+    bw_at_dram: float  # A
+    eb_at_l2: float  # B = BW / L2 miss rate
+    eb_at_core: float  # C = BW / CMR
+    l1_miss_rate: float
+    l2_miss_rate: float
+
+    def render(self) -> str:
+        rows = [
+            ("A: DRAM interface (BW)", self.bw_at_dram),
+            ("B: observed by L1 (BW / L2MR)", self.eb_at_l2),
+            ("C: observed by core (BW / CMR)", self.eb_at_core),
+        ]
+        table = render_table(
+            ("hierarchy level", "effective bandwidth"),
+            rows,
+            title=f"Figure 3: EB through the hierarchy for {self.abbr} "
+            f"@ bestTLP={self.best_tlp}",
+        )
+        return table + (
+            f"\nL1 miss rate = {self.l1_miss_rate:.3f}, "
+            f"L2 miss rate = {self.l2_miss_rate:.3f}"
+        )
+
+
+def run_fig3(ctx: ExperimentContext, abbr: str = "BFS") -> Fig3Result:
+    from repro.workloads.table4 import app_by_abbr
+
+    profile = ctx.alone(app_by_abbr(abbr))
+    s = profile.sweep[profile.best_tlp]
+    eb_l2 = s.bw / s.l2_miss_rate if s.l2_miss_rate > 0 else 0.0
+    return Fig3Result(
+        abbr=abbr,
+        best_tlp=profile.best_tlp,
+        bw_at_dram=s.bw,
+        eb_at_l2=eb_l2,
+        eb_at_core=s.eb,
+        l1_miss_rate=s.l1_miss_rate,
+        l2_miss_rate=s.l2_miss_rate,
+    )

@@ -1,0 +1,143 @@
+"""Figure 4: where the shared resources go — per-application slowdown and
+effective-bandwidth breakdowns under bestTLP+bestTLP versus optWS for the
+ten representative workloads.
+
+The two observations this experiment checks (§IV):
+
+* Observation 1 — the TLP combination with the highest total EB (EB-WS)
+  also has (near-)highest WS;
+* the bestTLP combination leaves a significant WS gap to optWS, caused
+  by disproportionate resource consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+from repro.workloads.generator import REPRESENTATIVE_PAIRS
+
+__all__ = ["Fig4Row", "Fig4Result", "run_fig4", "run_observation2"]
+
+
+@dataclass
+class Fig4Row:
+    workload: str
+    sd_base: tuple[float, float]
+    sd_opt: tuple[float, float]
+    eb_base: tuple[float, float]
+    eb_opt: tuple[float, float]
+
+    @property
+    def ws_base(self) -> float:
+        return sum(self.sd_base)
+
+    @property
+    def ws_opt(self) -> float:
+        return sum(self.sd_opt)
+
+    @property
+    def ebws_base(self) -> float:
+        return sum(self.eb_base)
+
+    @property
+    def ebws_opt(self) -> float:
+        return sum(self.eb_opt)
+
+
+@dataclass
+class Fig4Result:
+    rows: list[Fig4Row]
+
+    def render(self) -> str:
+        table_rows = []
+        for r in self.rows:
+            table_rows.append(
+                (
+                    r.workload,
+                    f"{r.sd_base[0]:.2f}+{r.sd_base[1]:.2f}",
+                    f"{r.sd_opt[0]:.2f}+{r.sd_opt[1]:.2f}",
+                    r.ws_opt / r.ws_base,
+                    f"{r.eb_base[0]:.2f}+{r.eb_base[1]:.2f}",
+                    f"{r.eb_opt[0]:.2f}+{r.eb_opt[1]:.2f}",
+                )
+            )
+        return render_table(
+            ("workload", "SD base", "SD optWS", "WS gain",
+             "EB base", "EB optWS"),
+            table_rows,
+            title="Figure 4: slowdown and EB breakdowns, bestTLP vs optWS",
+        )
+
+
+@dataclass
+class Observation2Result:
+    """Observation 2 (§IV): maximizing raw instruction throughput (IT =
+    sum of IPCs) is not the same as maximizing WS."""
+
+    #: workload -> (argmax-IT combo, argmax-WS combo, WS@optIT / WS@optWS)
+    rows: dict[str, tuple[tuple[int, ...], tuple[int, ...], float]]
+
+    @property
+    def divergent_workloads(self) -> list[str]:
+        return [wl for wl, (it, ws, _) in self.rows.items() if it != ws]
+
+    def render(self) -> str:
+        table_rows = [
+            (wl, str(it), str(ws), ratio)
+            for wl, (it, ws, ratio) in sorted(self.rows.items())
+        ]
+        table = render_table(
+            ("workload", "optIT combo", "optWS combo", "WS@optIT / WS@optWS"),
+            table_rows,
+            title="Observation 2: instruction throughput vs weighted speedup",
+        )
+        return table + (
+            f"\noptIT != optWS in {len(self.divergent_workloads)} of "
+            f"{len(self.rows)} workloads"
+        )
+
+
+def run_observation2(
+    ctx: ExperimentContext, pairs=REPRESENTATIVE_PAIRS
+) -> Observation2Result:
+    rows = {}
+    for names in pairs:
+        apps = ctx.pair_apps(*names)
+        surface = ctx.surface(apps)
+        alone = ctx.alone_for(apps)
+
+        def it(combo):
+            return sum(surface[combo].samples[a].ipc for a in (0, 1))
+
+        def ws(combo):
+            return sum(
+                surface[combo].samples[a].ipc / alone[a].ipc_alone
+                for a in (0, 1)
+            )
+
+        opt_it = max(surface, key=it)
+        opt_ws = max(surface, key=ws)
+        rows["_".join(names)] = (opt_it, opt_ws, ws(opt_it) / ws(opt_ws))
+    return Observation2Result(rows=rows)
+
+
+def run_fig4(
+    ctx: ExperimentContext, pairs=REPRESENTATIVE_PAIRS
+) -> Fig4Result:
+    rows = []
+    for names in pairs:
+        apps = ctx.pair_apps(*names)
+        base = ctx.scheme(apps, "besttlp")
+        opt = ctx.scheme(apps, "opt-ws")
+        rows.append(
+            Fig4Row(
+                workload=base.workload,
+                sd_base=(base.sds[0], base.sds[1]),
+                sd_opt=(opt.sds[0], opt.sds[1]),
+                eb_base=(base.ebs[0], base.ebs[1]),
+                eb_opt=(opt.ebs[0], opt.ebs[1]),
+            )
+        )
+    return Fig4Result(rows=rows)

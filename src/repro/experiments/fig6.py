@@ -1,0 +1,112 @@
+"""Figure 6: the patterns that make PBS possible.
+
+For one workload (BLK_TRD in the paper) this experiment sweeps the full
+TLP surface and reports, per co-runner TLP (iso-TLP curves), the EB-WS
+series along the other application's TLP axis.  The *pattern* claim:
+each application's inflection point — the TLP level after which EB-WS
+drops the most — sits at (nearly) the same level regardless of the
+co-runner's TLP, so one probe sweep suffices to locate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TLP_LEVELS
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+
+__all__ = ["Fig6Result", "run_fig6", "inflection_level"]
+
+
+def inflection_level(levels: list[int], series: list[float]) -> int:
+    """The level just before the sharpest drop (argmax if monotone)."""
+    drops = [series[k] - series[k + 1] for k in range(len(series) - 1)]
+    if drops and max(drops) > 0:
+        return levels[max(range(len(drops)), key=drops.__getitem__)]
+    return levels[max(range(len(series)), key=series.__getitem__)]
+
+
+@dataclass
+class Fig6Result:
+    workload: str
+    abbrs: tuple[str, str]
+    levels: list[int]
+    #: ebws[app][co_tlp] = EB-WS series along app's TLP axis
+    ebws: dict[int, dict[int, list[float]]]
+    #: per-app EB surfaces, same indexing
+    eb_self: dict[int, dict[int, list[float]]]
+
+    def inflections(self, app: int) -> dict[int, int]:
+        """Inflection level of ``app`` for each co-runner TLP."""
+        return {
+            co: inflection_level(self.levels, series)
+            for co, series in self.ebws[app].items()
+        }
+
+    def pattern_consistency(self, app: int) -> float:
+        """Fraction of iso-curves whose inflection is within one lattice
+        step of the modal inflection level."""
+        infl = list(self.inflections(app).values())
+        mode = max(set(infl), key=infl.count)
+        idx = {lv: i for i, lv in enumerate(self.levels)}
+        close = sum(1 for lv in infl if abs(idx[lv] - idx[mode]) <= 1)
+        return close / len(infl)
+
+    def render(self) -> str:
+        blocks = []
+        for app in (0, 1):
+            rows = []
+            for co, series in sorted(self.ebws[app].items()):
+                rows.append((f"co-TLP={co}",) + tuple(series))
+            table = render_table(
+                (f"TLP-{self.abbrs[app]} ->",) + tuple(map(str, self.levels)),
+                rows,
+                title=(
+                    f"Figure 6: EB-WS vs TLP-{self.abbrs[app]} "
+                    f"({self.workload}); pattern consistency "
+                    f"{self.pattern_consistency(app):.0%}"
+                ),
+            )
+            blocks.append(table)
+        return "\n\n".join(blocks)
+
+
+def run_fig6(
+    ctx: ExperimentContext, pair_names=("BLK", "TRD")
+) -> Fig6Result:
+    apps = ctx.pair_apps(*pair_names)
+    surface = ctx.surface(apps)
+    levels = list(TLP_LEVELS)
+
+    def series_for(app: int, co_tlp: int, extract) -> list[float]:
+        out = []
+        for lv in levels:
+            combo = (lv, co_tlp) if app == 0 else (co_tlp, lv)
+            out.append(extract(surface[combo]))
+        return out
+
+    iso_levels = [1, 2, 4, 8, 16, 24]
+    ebws = {
+        app: {
+            co: series_for(
+                app, co, lambda r: r.samples[0].eb + r.samples[1].eb
+            )
+            for co in iso_levels
+        }
+        for app in (0, 1)
+    }
+    eb_self = {
+        app: {
+            co: series_for(app, co, lambda r, a=app: r.samples[a].eb)
+            for co in iso_levels
+        }
+        for app in (0, 1)
+    }
+    return Fig6Result(
+        workload="_".join(pair_names),
+        abbrs=pair_names,
+        levels=levels,
+        ebws=ebws,
+        eb_self=eb_self,
+    )

@@ -1,0 +1,101 @@
+"""Figure 7: how PBS-FI and PBS-HS walk the surface (BLK_TRD in the paper).
+
+Two views are reported for the fairness search: the scaled EB-difference
+along each application's TLP axis (a fair combination has a difference
+near zero), and the EB-HS surface for the harmonic search.  The
+experiment also runs the offline searches and compares their picks with
+the exhaustive optFI / optHS oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TLP_LEVELS
+from repro.core.offline import (
+    oracle_search,
+    pbs_offline_search,
+    sampled_scale,
+)
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+from repro.metrics.bandwidth import eb_hs
+
+__all__ = ["Fig7Result", "run_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    workload: str
+    abbrs: tuple[str, str]
+    levels: list[int]
+    scale: list[float]
+    #: scaled EB difference (app0 - app1) vs TLP-app0, per iso TLP-app1
+    eb_diff: dict[int, list[float]]
+    #: EB-HS vs TLP-app0, per iso TLP-app1
+    ebhs: dict[int, list[float]]
+    pbs_fi_combo: tuple[int, ...]
+    opt_fi_combo: tuple[int, ...]
+    pbs_hs_combo: tuple[int, ...]
+    opt_hs_combo: tuple[int, ...]
+
+    def render(self) -> str:
+        diff_rows = [
+            (f"TLP-{self.abbrs[1]}={co}",) + tuple(series)
+            for co, series in sorted(self.eb_diff.items())
+        ]
+        hs_rows = [
+            (f"TLP-{self.abbrs[1]}={co}",) + tuple(series)
+            for co, series in sorted(self.ebhs.items())
+        ]
+        head = (f"TLP-{self.abbrs[0]} ->",) + tuple(map(str, self.levels))
+        out = [
+            render_table(head, diff_rows,
+                         title=f"Figure 7(a,b): scaled EB-difference "
+                               f"({self.workload})"),
+            render_table(head, hs_rows,
+                         title=f"Figure 7(c,d): EB-HS ({self.workload})"),
+            f"PBS-FI choice {self.pbs_fi_combo} vs optFI {self.opt_fi_combo}",
+            f"PBS-HS choice {self.pbs_hs_combo} vs optHS {self.opt_hs_combo}",
+        ]
+        return "\n\n".join(out)
+
+
+def run_fig7(
+    ctx: ExperimentContext, pair_names=("BLK", "TRD")
+) -> Fig7Result:
+    apps = ctx.pair_apps(*pair_names)
+    surface = ctx.surface(apps)
+    alone = ctx.alone_for(apps)
+    scale = sampled_scale(surface, 2)
+    levels = list(TLP_LEVELS)
+    iso_levels = [1, 4, 8, 24]
+
+    def diff(combo) -> float:
+        s = surface[combo].samples
+        return s[0].eb / scale[0] - s[1].eb / scale[1]
+
+    def hs(combo) -> float:
+        s = surface[combo].samples
+        return eb_hs([s[0].eb, s[1].eb], scale)
+
+    eb_diff = {
+        co: [diff((lv, co)) for lv in levels] for co in iso_levels
+    }
+    ebhs = {co: [hs((lv, co)) for lv in levels] for co in iso_levels}
+
+    pbs_fi, _ = pbs_offline_search(surface, "fi", 2, scale=scale)
+    pbs_hs, _ = pbs_offline_search(surface, "hs", 2, scale=scale)
+    alone_ipcs = [p.ipc_alone for p in alone]
+    return Fig7Result(
+        workload="_".join(pair_names),
+        abbrs=pair_names,
+        levels=levels,
+        scale=scale,
+        eb_diff=eb_diff,
+        ebhs=ebhs,
+        pbs_fi_combo=pbs_fi,
+        opt_fi_combo=oracle_search(surface, "fi", alone_ipcs),
+        pbs_hs_combo=pbs_hs,
+        opt_hs_combo=oracle_search(surface, "hs", alone_ipcs),
+    )

@@ -1,0 +1,77 @@
+"""Figure 8 / §V-E: hardware organization and overhead accounting.
+
+The PBS unit is tiny; the paper breaks its cost into storage,
+computation, and communication.  This module computes the same budget
+from a configuration so the claim is checkable:
+
+* storage — two 32-bit counters per core (L1 accesses/misses), three
+  32-bit counters and one 5-bit register per memory partition (L2
+  accesses/misses per app, attained bandwidth), plus the 16-entry
+  sampling table (~160 bytes);
+* computation — a linear scan over the sampling table per window;
+* communication — the designated partition relays ~69 bits to the cores
+  each sampling window, charged at 100 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.core.controller import COUNTER_RELAY_CYCLES
+from repro.experiments.report import render_table
+
+__all__ = ["OverheadBudget", "run_fig8"]
+
+COUNTER_BITS = 32
+BW_REGISTER_BITS = 5
+SAMPLING_TABLE_ENTRIES = 16
+
+
+@dataclass
+class OverheadBudget:
+    per_core_bits: int
+    per_partition_bits: int
+    sampling_table_bytes: int
+    total_storage_bytes: float
+    relay_bits_per_window: int
+    relay_latency_cycles: int
+    table_scan_entries: int
+
+    def render(self) -> str:
+        rows = [
+            ("per-core counters (bits)", self.per_core_bits),
+            ("per-partition counters (bits)", self.per_partition_bits),
+            ("sampling table (bytes)", self.sampling_table_bytes),
+            ("total storage (bytes)", self.total_storage_bytes),
+            ("relay traffic per window (bits)", self.relay_bits_per_window),
+            ("relay latency (cycles)", self.relay_latency_cycles),
+            ("table entries scanned per decision", self.table_scan_entries),
+        ]
+        return render_table(
+            ("overhead component", "value"),
+            rows,
+            title="Figure 8 / §V-E: PBS hardware overhead budget",
+        )
+
+
+def run_fig8(config: GPUConfig, n_apps: int = 2) -> OverheadBudget:
+    per_core = 2 * COUNTER_BITS  # L1 accesses + misses
+    per_partition = n_apps * (3 * COUNTER_BITS) + BW_REGISTER_BITS
+    # each table line: per-app EB values (16-bit fixed point) + combo tag
+    table_bytes = SAMPLING_TABLE_ENTRIES * (n_apps * 2 + n_apps)
+    total = (
+        config.n_cores * per_core / 8
+        + config.n_channels * per_partition / 8
+        + table_bytes
+    )
+    relay_bits = n_apps * (2 * COUNTER_BITS) + BW_REGISTER_BITS
+    return OverheadBudget(
+        per_core_bits=per_core,
+        per_partition_bits=per_partition,
+        sampling_table_bytes=table_bytes,
+        total_storage_bytes=total,
+        relay_bits_per_window=relay_bits,
+        relay_latency_cycles=COUNTER_RELAY_CYCLES,
+        table_scan_entries=SAMPLING_TABLE_ENTRIES,
+    )

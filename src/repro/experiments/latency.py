@@ -1,0 +1,99 @@
+"""Tail-latency view of TLP management.
+
+The paper argues in averages (bandwidth, miss rates); the probes make
+the same story visible in distributions: under bestTLP+bestTLP the
+bandwidth hog keeps the shared queues deep and the victim's P99 memory
+latency high, while the optWS combination drains the queues and
+compresses the tail.  This experiment runs both combinations with
+latency/queue/occupancy probes attached and reports the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import render_table
+from repro.sim.engine import Simulator
+from repro.sim.probes import (
+    LatencyHistogram,
+    OccupancyProbe,
+    QueueDepthProbe,
+    attach,
+)
+
+__all__ = ["LatencyStudy", "run_latency_study"]
+
+
+@dataclass
+class LatencyStudy:
+    workload: str
+    combos: dict[str, tuple[int, ...]]
+    #: label -> app -> {p50, p95, p99, count}
+    latency: dict[str, dict[int, dict[str, float]]]
+    #: label -> mean DRAM queue depth
+    queue_depth: dict[str, float]
+    #: label -> app -> mean L2 occupancy share
+    l2_share: dict[str, dict[int, float]]
+
+    def render(self) -> str:
+        rows = []
+        for label in self.combos:
+            for app in (0, 1):
+                s = self.latency[label][app]
+                rows.append((
+                    label, str(self.combos[label]), f"app{app}",
+                    s["p50"], s["p95"], s["p99"],
+                    self.l2_share[label][app],
+                ))
+        table = render_table(
+            ("scenario", "combo", "app", "P50", "P95", "P99", "L2 share"),
+            rows,
+            title=f"Memory-latency tails and L2 occupancy ({self.workload})",
+        )
+        depths = "  ".join(
+            f"{label}: mean queue={d:.1f}" for label, d in self.queue_depth.items()
+        )
+        return table + "\n" + depths
+
+
+def run_latency_study(
+    ctx: ExperimentContext, pair_names=("JPEG", "TRD")
+) -> LatencyStudy:
+    apps = ctx.pair_apps(*pair_names)
+    alone = ctx.alone_for(apps)
+    surface = ctx.surface(apps)
+
+    def ws_of(combo) -> float:
+        return sum(
+            surface[combo].samples[a].ipc / alone[a].ipc_alone for a in (0, 1)
+        )
+
+    combos = {
+        "bestTLP+bestTLP": tuple(p.best_tlp for p in alone),
+        "optWS": max(surface, key=ws_of),
+    }
+
+    latency: dict[str, dict[int, dict[str, float]]] = {}
+    queue_depth: dict[str, float] = {}
+    l2_share: dict[str, dict[int, float]] = {}
+    for label, combo in combos.items():
+        sim = Simulator(ctx.config, apps, seed=ctx.seed)
+        hist, queues, occ = LatencyHistogram(), QueueDepthProbe(), OccupancyProbe()
+        attach(sim, latency=hist, queues=queues, occupancy=occ)
+        sim.run(
+            ctx.lengths.eval_cycles,
+            warmup=ctx.lengths.eval_warmup,
+            initial_tlp={0: combo[0], 1: combo[1]},
+        )
+        latency[label] = {a: hist.summary(a) for a in (0, 1)}
+        queue_depth[label] = queues.mean_depth()
+        l2_share[label] = {a: occ.mean_share(a) for a in (0, 1)}
+
+    return LatencyStudy(
+        workload="_".join(pair_names),
+        combos=combos,
+        latency=latency,
+        queue_depth=queue_depth,
+        l2_share=l2_share,
+    )

@@ -1,0 +1,86 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+and tables report; these helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "geomean", "fmt", "normalize_to", "sparkline"]
+
+#: eight-level unicode bars for sparklines
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def fmt(value: object, width: int = 0) -> str:
+    """Format one cell: floats to 3 significant places, rest via str."""
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, guarding tiny values to keep the log finite."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """Render a sequence as a compact unicode bar chart.
+
+    Useful for showing curve *shapes* (the IPC/EB inflections of
+    Figure 2, TLP timelines of Figure 11) inside text reports.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_BARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_BARS) - 1))
+        out.append(_SPARK_BARS[idx])
+    return "".join(out)
+
+
+def normalize_to(values: dict[str, float], base_key: str) -> dict[str, float]:
+    """Normalize a mapping of scheme -> metric to one scheme's value."""
+    base = values[base_key]
+    if base <= 0:
+        raise ValueError(f"cannot normalize to non-positive base {base}")
+    return {k: v / base for k, v in values.items()}

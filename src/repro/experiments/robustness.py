@@ -1,0 +1,80 @@
+"""Seed-robustness study: are the headline comparisons stable?
+
+Every simulation here is stochastic (seeded address streams), so the
+scheme comparisons could in principle be seed artifacts.  This
+experiment re-runs the static headline comparison — bestTLP vs
+PBS-Offline-WS vs BF-WS vs optWS — across several seeds on a subset of
+workloads and reports the per-seed normalized WS, its spread, and
+whether the paper's ordering survives every seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import geomean, render_table
+
+__all__ = ["RobustnessResult", "run_robustness"]
+
+DEFAULT_WORKLOADS = (("BLK", "TRD"), ("BFS", "FFT"), ("JPEG", "LIB"),
+                     ("DS", "TRD"))
+DEFAULT_SCHEMES = ("besttlp", "pbs-offline-ws", "bf-ws", "opt-ws")
+
+
+@dataclass
+class RobustnessResult:
+    schemes: tuple[str, ...]
+    seeds: tuple[int, ...]
+    #: seed -> scheme -> gmean normalized WS over the workload subset
+    gmeans: dict[int, dict[str, float]]
+
+    def spread(self, scheme: str) -> tuple[float, float]:
+        values = [self.gmeans[s][scheme] for s in self.seeds]
+        mean = statistics.fmean(values)
+        std = statistics.pstdev(values)
+        return mean, std
+
+    def ordering_stable(self, better: str, worse: str) -> bool:
+        """Does ``better`` beat ``worse`` under every seed?"""
+        return all(
+            self.gmeans[s][better] >= self.gmeans[s][worse]
+            for s in self.seeds
+        )
+
+    def render(self) -> str:
+        rows = []
+        for scheme in self.schemes:
+            mean, std = self.spread(scheme)
+            per_seed = [self.gmeans[s][scheme] for s in self.seeds]
+            rows.append((scheme, mean, std) + tuple(per_seed))
+        headers = ("scheme", "mean", "std") + tuple(
+            f"seed {s}" for s in self.seeds
+        )
+        return render_table(
+            headers, rows,
+            title="Seed robustness: normalized WS gmean over "
+                  f"{len(DEFAULT_WORKLOADS)} workloads",
+        )
+
+
+def run_robustness(
+    ctx: ExperimentContext,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    workloads=DEFAULT_WORKLOADS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+) -> RobustnessResult:
+    gmeans: dict[int, dict[str, float]] = {}
+    for seed in seeds:
+        seeded = dataclasses.replace(ctx, seed=seed)
+        per_scheme: dict[str, list[float]] = {s: [] for s in schemes}
+        for names in workloads:
+            apps = seeded.pair_apps(*names)
+            base = seeded.scheme(apps, "besttlp").ws
+            for scheme in schemes:
+                value = seeded.scheme(apps, scheme).ws
+                per_scheme[scheme].append(value / max(base, 1e-12))
+        gmeans[seed] = {s: geomean(v) for s, v in per_scheme.items()}
+    return RobustnessResult(schemes=schemes, seeds=seeds, gmeans=gmeans)

@@ -1,0 +1,33 @@
+"""System-throughput, fairness, and effective-bandwidth metrics (Table III)."""
+
+from repro.metrics.bandwidth import (
+    alone_ratio,
+    combined_miss_rate,
+    eb_fi,
+    eb_hs,
+    eb_objective,
+    eb_ws,
+    effective_bandwidth,
+)
+from repro.metrics.slowdown import (
+    fairness_index,
+    harmonic_speedup,
+    sd_objective,
+    slowdown,
+    weighted_speedup,
+)
+
+__all__ = [
+    "slowdown",
+    "weighted_speedup",
+    "fairness_index",
+    "harmonic_speedup",
+    "sd_objective",
+    "combined_miss_rate",
+    "effective_bandwidth",
+    "eb_ws",
+    "eb_fi",
+    "eb_hs",
+    "eb_objective",
+    "alone_ratio",
+]

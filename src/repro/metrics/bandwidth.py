@@ -1,0 +1,127 @@
+"""Effective-bandwidth metrics (the paper's contribution, §III-B and
+Table III).
+
+Effective bandwidth gauges the rate of data delivery to the cores: the
+attained DRAM bandwidth, amplified by how well the caches filter it.
+
+    CMR = L1 miss rate x L2 miss rate     (combined miss rate)
+    EB  = BW / CMR
+
+At CMR = 1 the caches are useless and EB equals the attained DRAM
+bandwidth (the BLK case in the paper); a CMR of 0.5 effectively doubles
+the bandwidth the cores see.  EB-based analogues of WS / FI / HS replace
+SD with EB, and — unlike SD — need no alone-run information, which is
+what makes them computable at runtime:
+
+    EB-WS = EB1 + EB2          EB-FI = min(EB1/EB2, EB2/EB1)
+    EB-HS = N / sum(1/EB_i)
+
+For fairness and HS the paper optionally *scales* each EB by the
+application's alone-EB (measured by sampling with the co-runner dropped
+to TLP=1, or supplied as a per-group average), to remove the bias an
+alone ratio far from 1 would introduce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "combined_miss_rate",
+    "effective_bandwidth",
+    "eb_ws",
+    "eb_fi",
+    "eb_hs",
+    "eb_objective",
+    "alone_ratio",
+]
+
+
+def combined_miss_rate(l1_miss_rate: float, l2_miss_rate: float) -> float:
+    """CMR: product of L1 and L2 miss rates."""
+    for mr in (l1_miss_rate, l2_miss_rate):
+        if not 0.0 <= mr <= 1.0:
+            raise ValueError(f"miss rate {mr} outside [0, 1]")
+    return l1_miss_rate * l2_miss_rate
+
+
+def effective_bandwidth(bw: float, cmr: float) -> float:
+    """EB: attained bandwidth amplified by the caches (BW / CMR)."""
+    if bw < 0:
+        raise ValueError("bandwidth cannot be negative")
+    if not 0.0 <= cmr <= 1.0:
+        raise ValueError(f"combined miss rate {cmr} outside [0, 1]")
+    if cmr == 0.0:
+        # Perfect caching: the cores see the cache bandwidth, not DRAM's.
+        # A zero CMR only occurs with zero DRAM traffic in practice.
+        return 0.0 if bw == 0.0 else float("inf")
+    return bw / cmr
+
+
+def _scaled(ebs: Sequence[float], scale: Sequence[float] | None) -> list[float]:
+    if scale is None:
+        return list(ebs)
+    if len(scale) != len(ebs):
+        raise ValueError("scale length must match EB length")
+    if any(s <= 0 for s in scale):
+        raise ValueError("scaling factors must be positive")
+    return [e / s for e, s in zip(ebs, scale)]
+
+
+def eb_ws(ebs: Sequence[float]) -> float:
+    """EB-WS: total effective bandwidth across co-runners."""
+    if not ebs:
+        raise ValueError("need at least one EB value")
+    return float(sum(ebs))
+
+
+def eb_fi(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
+    """EB-FI: balance of (optionally alone-scaled) effective bandwidths."""
+    values = _scaled(ebs, scale)
+    if not values:
+        raise ValueError("need at least one EB value")
+    if any(v < 0 for v in values):
+        raise ValueError("EB values cannot be negative")
+    top = max(values)
+    if top == 0:
+        return 1.0
+    return min(values) / top
+
+
+def eb_hs(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
+    """EB-HS: harmonic mean of (optionally alone-scaled) EBs."""
+    values = _scaled(ebs, scale)
+    if not values:
+        raise ValueError("need at least one EB value")
+    if any(v <= 0 for v in values):
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def eb_objective(
+    kind: str, ebs: Sequence[float], scale: Sequence[float] | None = None
+) -> float:
+    """Dispatch on the EB metric name: ``"ws"``, ``"fi"``, or ``"hs"``.
+
+    EB-WS deliberately ignores the scaling factors: the paper found the
+    outliers too few to matter for throughput (§IV), and an unscaled sum
+    is what the hardware can compute with no alone information at all.
+    """
+    if kind == "ws":
+        return eb_ws(ebs)
+    if kind == "fi":
+        return eb_fi(ebs, scale)
+    if kind == "hs":
+        return eb_hs(ebs, scale)
+    raise ValueError(f"unknown EB objective {kind!r}")
+
+
+def alone_ratio(metric_a: float, metric_b: float) -> float:
+    """Alone ratio, reported as max(a/b, b/a) as in Figure 5.
+
+    Used for both IPC_AR and EB_AR: the bias either metric would have
+    toward one of the co-scheduled applications.
+    """
+    if metric_a <= 0 or metric_b <= 0:
+        raise ValueError("alone metrics must be positive")
+    return max(metric_a / metric_b, metric_b / metric_a)

@@ -1,0 +1,76 @@
+"""Slowdown-based system metrics (Table III of the paper).
+
+All three system-level metrics are built from per-application slowdowns:
+
+    SD_i = IPC_i(shared) / IPC_i(alone @ bestTLP, same cores)
+
+* Weighted Speedup   WS = sum(SD_i)           -- system throughput
+* Fairness Index     FI = min(SD)/max(SD)     -- 1.0 is perfectly fair
+* Harmonic Speedup   HS = N / sum(1/SD_i)     -- balanced throughput+fairness
+
+For two applications FI reduces to the paper's
+``min(SD1/SD2, SD2/SD1)`` and WS has a maximum of 2 absent constructive
+interference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "slowdown",
+    "weighted_speedup",
+    "fairness_index",
+    "harmonic_speedup",
+    "sd_objective",
+]
+
+
+def slowdown(ipc_shared: float, ipc_alone: float) -> float:
+    """SD of one application: shared IPC over alone IPC (at bestTLP)."""
+    if ipc_alone <= 0:
+        raise ValueError("alone IPC must be positive")
+    if ipc_shared < 0:
+        raise ValueError("shared IPC cannot be negative")
+    return ipc_shared / ipc_alone
+
+
+def weighted_speedup(sds: Sequence[float]) -> float:
+    """WS: the sum of per-application slowdowns."""
+    _check(sds)
+    return float(sum(sds))
+
+
+def fairness_index(sds: Sequence[float]) -> float:
+    """FI: the worst pairwise slowdown imbalance, min(SD)/max(SD)."""
+    _check(sds)
+    if any(s < 0 for s in sds):
+        raise ValueError("slowdowns cannot be negative")
+    top = max(sds)
+    if top == 0:
+        return 1.0  # everyone is equally (infinitely) slowed down
+    return min(sds) / top
+
+
+def harmonic_speedup(sds: Sequence[float]) -> float:
+    """HS: harmonic mean of slowdowns (throughput + fairness in one)."""
+    _check(sds)
+    if any(s <= 0 for s in sds):
+        return 0.0
+    return len(sds) / sum(1.0 / s for s in sds)
+
+
+def sd_objective(kind: str, sds: Sequence[float]) -> float:
+    """Dispatch on the metric name: ``"ws"``, ``"fi"``, or ``"hs"``."""
+    if kind == "ws":
+        return weighted_speedup(sds)
+    if kind == "fi":
+        return fairness_index(sds)
+    if kind == "hs":
+        return harmonic_speedup(sds)
+    raise ValueError(f"unknown SD objective {kind!r}")
+
+
+def _check(sds: Sequence[float]) -> None:
+    if not sds:
+        raise ValueError("need at least one slowdown")

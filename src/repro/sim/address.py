@@ -1,0 +1,103 @@
+"""Global address space layout and DRAM/L2 interleaving.
+
+The global linear address space is interleaved among the memory
+partitions in chunks of ``interleave_bytes`` (256 B in Table I).  Each
+memory partition owns one L2 slice and one DRAM channel, so the channel
+id of an address is also its L2-slice id.
+
+Within a channel, the channel-local address stream is mapped onto DRAM
+banks row-by-row so that sequential traffic enjoys row-buffer locality
+while spreading across banks at row granularity.
+
+Applications live in disjoint regions of the address space (bit 44 and
+up carry the application id), so cache sharing between co-scheduled
+applications happens only through *capacity* contention, exactly as for
+independent address spaces on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+
+__all__ = ["AddressMap", "APP_REGION_SHIFT"]
+
+#: Bit position where the application id is encoded in global addresses.
+APP_REGION_SHIFT = 44
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps byte addresses to (channel, bank, row) and L2 sets.
+
+    Pure functions of the configuration; shared by the L2 slices, the
+    DRAM channels, and the synthetic address-stream generators.
+    """
+
+    interleave_bytes: int
+    n_channels: int
+    banks_per_channel: int
+    bank_groups_per_channel: int
+    row_bytes: int
+    line_bytes: int
+
+    @classmethod
+    def from_config(cls, config: GPUConfig) -> "AddressMap":
+        return cls(
+            interleave_bytes=config.interleave_bytes,
+            n_channels=config.n_channels,
+            banks_per_channel=config.banks_per_channel,
+            bank_groups_per_channel=config.bank_groups_per_channel,
+            row_bytes=config.row_bytes,
+            line_bytes=config.line_bytes,
+        )
+
+    # --- application regions ------------------------------------------------
+
+    @staticmethod
+    def app_base(app_id: int) -> int:
+        """Base byte address of application ``app_id``'s region."""
+        return (app_id + 1) << APP_REGION_SHIFT
+
+    @staticmethod
+    def app_of(addr: int) -> int:
+        """Recover the application id encoded in ``addr``."""
+        return (addr >> APP_REGION_SHIFT) - 1
+
+    # --- line granularity -----------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line address (byte address truncated to line granularity)."""
+        return addr - (addr % self.line_bytes)
+
+    # --- channel interleaving -------------------------------------------------
+
+    def channel_of(self, addr: int) -> int:
+        """Memory partition (channel == L2 slice) owning ``addr``."""
+        return (addr // self.interleave_bytes) % self.n_channels
+
+    def channel_local(self, addr: int) -> int:
+        """Compact channel-local byte address (channel bits stripped)."""
+        chunk = addr // self.interleave_bytes
+        return (chunk // self.n_channels) * self.interleave_bytes + (
+            addr % self.interleave_bytes
+        )
+
+    # --- DRAM geometry ----------------------------------------------------------
+
+    def bank_row_of(self, addr: int) -> tuple[int, int]:
+        """(bank, row) of ``addr`` within its channel.
+
+        Rows are striped across banks: consecutive rows of the
+        channel-local address space land in consecutive banks, so a
+        long sequential stream keeps every bank's row buffer warm.
+        """
+        local_row = self.channel_local(addr) // self.row_bytes
+        bank = local_row % self.banks_per_channel
+        row = local_row // self.banks_per_channel
+        return bank, row
+
+    def bank_group_of(self, bank: int) -> int:
+        """Bank group of a bank id (banks striped across groups)."""
+        return bank % self.bank_groups_per_channel

@@ -1,0 +1,195 @@
+"""GDDR5 DRAM channel with FR-FCFS scheduling.
+
+Each memory partition owns one :class:`DRAMChannel`.  A channel has
+``banks_per_channel`` banks (grouped into bank groups), per-bank row
+buffers, and a shared data bus.  The scheduler implements FR-FCFS
+(first-ready, first-come-first-served): among queued requests it first
+serves row-buffer hits (oldest hit first), falling back to the oldest
+request, with a streak cap so a hot row cannot starve the queue
+indefinitely.
+
+Timing model (all in core cycles, see :class:`repro.config.DRAMTimings`):
+
+* a row-buffer hit issues a column command and puts data on the bus
+  ``t_cl`` cycles later;
+* a row miss first precharges (``t_rp``, skipped if the bank is idle)
+  and activates (``t_rcd``), respecting the activate-to-activate window
+  ``t_rrd`` across the channel and ``t_ras`` within the bank;
+* every transfer occupies the shared data bus for ``burst_cycles``;
+  column commands to the same bank group are separated by ``t_ccd``.
+
+Scheduling decisions are pipelined: the next decision is taken when the
+current transfer *starts* on the bus, so activations overlap in-flight
+bursts and bank-level parallelism emerges naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import GPUConfig
+from repro.sim.address import AddressMap
+
+__all__ = ["DRAMRequest", "DRAMChannel"]
+
+
+@dataclass
+class DRAMRequest:
+    """One cache-line read request queued at a channel."""
+
+    line_addr: int
+    app_id: int
+    bank: int
+    row: int
+    enqueue_time: float
+    callback: Callable[["DRAMRequest", float], None]
+    row_hit: bool = field(default=False, init=False)
+
+
+class _Bank:
+    __slots__ = ("open_row", "free_at", "ras_until")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.free_at = 0.0
+        self.ras_until = 0.0
+
+
+class DRAMChannel:
+    """One GDDR5 channel: banks + row buffers + FR-FCFS scheduler."""
+
+    def __init__(
+        self,
+        channel_id: int,
+        config: GPUConfig,
+        addr_map: AddressMap,
+        schedule_event: Callable[[float, Callable[[float], None]], None],
+    ) -> None:
+        self.channel_id = channel_id
+        self.timings = config.dram
+        self.addr_map = addr_map
+        self.frfcfs_cap = config.frfcfs_cap
+        self.capacity = config.dram_queue_depth
+        self._schedule_event = schedule_event
+        #: called after each dequeue so a backpressured upstream (the L2
+        #: miss path) can re-drive a deferred request
+        self.on_dequeue: Callable[[float], None] | None = None
+        self._banks = [_Bank() for _ in range(config.banks_per_channel)]
+        self._group_col_free = [0.0] * config.bank_groups_per_channel
+        self.queue: list[DRAMRequest] = []
+        self.bus_free = 0.0
+        self.last_activate = -1e18
+        self._deciding = False
+        self._hit_streak = 0
+        # statistics
+        self.row_hits = 0
+        self.row_misses = 0
+        self.lines_transferred = 0
+        self.busy_cycles = 0.0
+
+    # --- public API ------------------------------------------------------
+
+    def enqueue(self, request: DRAMRequest, now: float) -> None:
+        if self.is_full:
+            raise RuntimeError(
+                f"channel {self.channel_id} queue overflow; check is_full first"
+            )
+        self.queue.append(request)
+        if not self._deciding:
+            self._deciding = True
+            self._schedule_event(now, self._decide)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.queue) >= self.capacity
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of elapsed cycles the data bus carried data."""
+        return self.busy_cycles / elapsed if elapsed > 0 else 0.0
+
+    # --- scheduling -------------------------------------------------------
+
+    #: scheduler queue visibility (real controllers scan a bounded window)
+    SCAN_WINDOW = 64
+
+    def _pick(self, now: float) -> int:
+        """FR-FCFS choice within the scan window.
+
+        First ready: the oldest row-buffer hit (unless the hit streak is
+        capped); otherwise the oldest request whose bank frees earliest,
+        so independent banks activate in parallel.
+        """
+        window = min(len(self.queue), self.SCAN_WINDOW)
+        if self._hit_streak < self.frfcfs_cap:
+            for i in range(window):
+                req = self.queue[i]
+                if self._banks[req.bank].open_row == req.row:
+                    return i
+        best, best_ready = 0, float("inf")
+        for i in range(window):
+            ready = self._banks[self.queue[i].bank].free_at
+            if ready < best_ready:
+                best, best_ready = i, ready
+                if ready <= now:
+                    break  # the oldest already-ready bank wins
+        return best
+
+    def _decide(self, now: float) -> None:
+        if not self.queue:
+            self._deciding = False
+            return
+        t = self.timings
+        req = self.queue.pop(self._pick(now))
+        if self.on_dequeue is not None:
+            self.on_dequeue(now)
+        bank = self._banks[req.bank]
+        group = self.addr_map.bank_group_of(req.bank)
+
+        row_hit = bank.open_row == req.row
+        req.row_hit = row_hit
+        if row_hit:
+            self._hit_streak += 1
+            self.row_hits += 1
+            col_issue = max(now, bank.free_at, self._group_col_free[group])
+            data_ready = col_issue + t.t_cl
+        else:
+            self._hit_streak = 0
+            self.row_misses += 1
+            act_start = max(now, bank.free_at, self.last_activate + t.t_rrd)
+            if bank.open_row is not None:
+                # Precharge the open row first (respect tRAS already folded
+                # into bank.ras_until).
+                act_start = max(act_start, bank.ras_until) + t.t_rp
+            self.last_activate = act_start
+            bank.ras_until = act_start + t.t_ras
+            bank.open_row = req.row
+            col_issue = max(act_start + t.t_rcd, self._group_col_free[group])
+            data_ready = col_issue + t.t_cl
+
+        self._group_col_free[group] = col_issue + t.t_ccd
+        data_start = max(data_ready, self.bus_free)
+        data_end = data_start + t.burst_cycles
+        self.bus_free = data_end
+        bank.free_at = col_issue + t.t_ccd
+        self.lines_transferred += 1
+        self.busy_cycles += t.burst_cycles
+
+        self._schedule_event(data_end, lambda when, r=req: r.callback(r, when))
+        if not self.queue:
+            self._deciding = False
+            return
+        # Pipeline: a new command can be scheduled every t_ccd cycles, so
+        # activations to other banks overlap the in-flight burst.  When
+        # the data bus is backlogged, hold the next decision so that only
+        # about one activate-to-data pipeline's worth of requests is
+        # committed ahead of the bus (bounded-lookahead FR-FCFS): deep
+        # enough that row-miss activations overlap at t_rrd spacing, yet
+        # shallow enough that late-arriving row hits can still reorder in.
+        lookahead = t.row_miss_service + t.burst_cycles
+        next_decision = max(now + t.t_ccd, self.bus_free - lookahead)
+        self._schedule_event(next_decision, self._decide)

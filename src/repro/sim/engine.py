@@ -1,0 +1,451 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` wires cores, L1 caches, the crossbar, L2 slices and
+DRAM channels together and drives every warp's closed loop:
+
+    compute phase -> memory instruction -> L1 -> (miss) crossbar -> L2
+    -> (miss) DRAM -> fill L2 -> response -> fill L1 -> wake warp -> ...
+
+Multi-application execution follows the paper's methodology (§II): each
+application is mapped to an exclusive set of cores (equal split by
+default) and shares everything beyond the cores — L2 slices, the
+crossbar, and DRAM bandwidth.  All statistics are kept per application.
+
+A TLP controller (see :mod:`repro.core.controller`) can be attached; it
+is invoked every ``sample_period`` cycles with per-application window
+samples and may retarget each application's warp limit, which is applied
+SWL-style by :meth:`Simulator.set_tlp`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import GPUConfig
+from repro.sim.address import AddressMap
+from repro.sim.cache import MSHRTable, SetAssocCache
+from repro.sim.core import Core, Warp
+from repro.sim.dram import DRAMChannel, DRAMRequest
+from repro.sim.interconnect import Crossbar
+from repro.sim.stats import StatsCollector, WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.controller import TLPController
+    from repro.workloads.synthetic import AppProfile
+
+__all__ = ["EventQueue", "Simulator", "SimResult"]
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks, with deterministic tie-breaks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, fn: Callable[[float], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"event scheduled in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def run_until(self, t_end: float) -> None:
+        heap = self._heap
+        while heap and heap[0][0] <= t_end:
+            time, _, fn = heapq.heappop(heap)
+            self.now = time
+            fn(time)
+        self.now = t_end
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    ``samples`` covers the measured region (post-warmup); ``windows``
+    logs every controller sampling window; ``tlp_timeline`` records each
+    (time, app_id, tlp) actuation.
+    """
+
+    samples: dict[int, WindowSample]
+    cycles: float
+    tlp_timeline: list[tuple[float, int, int]]
+    windows: list[tuple[float, dict[int, WindowSample]]] = field(default_factory=list)
+    final_tlp: dict[int, int] = field(default_factory=dict)
+    dram_utilization: float = 0.0
+
+    def ipc(self, app_id: int) -> float:
+        return self.samples[app_id].ipc
+
+    def eb(self, app_id: int) -> float:
+        return self.samples[app_id].eb
+
+    def bw(self, app_id: int) -> float:
+        return self.samples[app_id].bw
+
+    def cmr(self, app_id: int) -> float:
+        return self.samples[app_id].cmr
+
+    @property
+    def app_ids(self) -> list[int]:
+        return sorted(self.samples)
+
+
+class Simulator:
+    """Whole-GPU simulator executing one or more applications."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        apps: "list[AppProfile]",
+        core_split: tuple[int, ...] | None = None,
+        controller: "TLPController | None" = None,
+        seed: int | None = None,
+        l2_way_quota: dict[int, int] | None = None,
+    ) -> None:
+        if not apps:
+            raise ValueError("need at least one application")
+        self.config = config
+        self.apps = list(apps)
+        self.controller = controller
+        self.seed = config.base_seed if seed is None else seed
+        self.addr_map = AddressMap.from_config(config)
+        self.events = EventQueue()
+        self.crossbar = Crossbar(config)
+
+        if core_split is None:
+            per_app = config.n_cores // len(apps)
+            if per_app < 1:
+                raise ValueError("more applications than cores")
+            core_split = tuple(per_app for _ in apps)
+        if sum(core_split) > config.n_cores:
+            raise ValueError(f"core split {core_split} exceeds {config.n_cores} cores")
+        if len(core_split) != len(apps):
+            raise ValueError("core_split length must match number of apps")
+        self.core_split = core_split
+
+        # Cores, private L1s and per-core MSHRs.
+        self.cores: list[Core] = []
+        self.l1s: list[SetAssocCache] = []
+        self.l1_mshrs: list[MSHRTable] = []
+        self.cores_of_app: dict[int, list[Core]] = {a: [] for a in range(len(apps))}
+        core_id = 0
+        for app_id, n in enumerate(core_split):
+            for _ in range(n):
+                core = Core(core_id, app_id, config)
+                self.cores.append(core)
+                self.cores_of_app[app_id].append(core)
+                self.l1s.append(
+                    SetAssocCache(config.l1.n_sets, config.l1.assoc, config.l1.line_bytes)
+                )
+                self.l1_mshrs.append(MSHRTable(config.l1.mshr_entries))
+                core_id += 1
+
+        # Shared L2 slices and DRAM channels, one pair per partition.
+        geom = config.l2_per_channel
+        self.l2s = [
+            SetAssocCache(geom.n_sets, geom.assoc, geom.line_bytes)
+            for _ in range(config.n_channels)
+        ]
+        if l2_way_quota:
+            for l2 in self.l2s:
+                l2.way_quota = dict(l2_way_quota)
+        self.l2_mshrs = [
+            MSHRTable(geom.mshr_entries * 4) for _ in range(config.n_channels)
+        ]
+        # Back-pressure: accesses that found their MSHR table full wait
+        # here and are re-driven as fills release entries.
+        self._l1_deferred: list[deque[Callable[[float], None]]] = [
+            deque() for _ in self.cores
+        ]
+        self._l2_deferred: list[deque[Callable[[float], None]]] = [
+            deque() for _ in range(config.n_channels)
+        ]
+        self.channels = [
+            DRAMChannel(ch, config, self.addr_map, self.events.push)
+            for ch in range(config.n_channels)
+        ]
+        # DRAM-queue backpressure: L2 misses deferred while a channel's
+        # queue is full, re-driven as the scheduler dequeues.
+        self._dram_deferred: list[deque[Callable[[float], None]]] = [
+            deque() for _ in range(config.n_channels)
+        ]
+        for ch, channel in enumerate(self.channels):
+            channel.on_dequeue = (
+                lambda now, c=ch: self._drain_dram_deferred(c, now)
+            )
+
+        self.collector = StatsCollector(
+            list(range(len(apps))), config.peak_bw_lines_per_cycle
+        )
+        self.tlp_timeline: list[tuple[float, int, int]] = []
+        self.window_log: list[tuple[float, dict[int, WindowSample]]] = []
+        self.current_tlp: dict[int, int] = {}
+        self._ran = False
+
+        # Populate warp contexts; warps of one core share a sequential
+        # cursor so adjacent warps touch adjacent lines (row locality).
+        for app_id, profile in enumerate(self.apps):
+            for core in self.cores_of_app[app_id]:
+                core_stream = profile.make_core_stream(
+                    app_id, core.core_id, self.addr_map
+                )
+                for w in range(config.max_warps_per_core):
+                    stream = profile.make_stream(
+                        app_id=app_id,
+                        core_id=core.core_id,
+                        warp_id=w,
+                        seed=self.seed,
+                        addr_map=self.addr_map,
+                        core_stream=core_stream,
+                    )
+                    core.add_warp(stream)
+
+    # ------------------------------------------------------------------
+    # TLP actuation
+    # ------------------------------------------------------------------
+
+    def set_tlp(self, app_id: int, tlp: int) -> None:
+        """Set application ``app_id``'s warp limit on all of its cores."""
+        tlp = max(1, min(tlp, self.config.max_tlp))
+        now = self.events.now
+        self.current_tlp[app_id] = tlp
+        self.tlp_timeline.append((now, app_id, tlp))
+        for core in self.cores_of_app[app_id]:
+            for warp in core.set_tlp(tlp):
+                self._start_warp(core, warp, now)
+
+    def set_l1_bypass(self, app_id: int, bypass: bool) -> None:
+        """Enable/disable L1 fill bypassing for an application."""
+        for core in self.cores_of_app[app_id]:
+            l1 = self.l1s[core.core_id]
+            if bypass:
+                l1.bypass_apps.add(app_id)
+            else:
+                l1.bypass_apps.discard(app_id)
+
+    def set_l2_bypass(self, app_id: int, bypass: bool) -> None:
+        """Enable/disable L2 fill bypassing for an application."""
+        for l2 in self.l2s:
+            if bypass:
+                l2.bypass_apps.add(app_id)
+            else:
+                l2.bypass_apps.discard(app_id)
+
+    # ------------------------------------------------------------------
+    # Warp loop
+    # ------------------------------------------------------------------
+
+    def _start_warp(self, core: Core, warp: Warp, now: float) -> None:
+        n_inst, lines = warp.stream.next_request()
+        done = core.issue.request(now, n_inst)
+        self.events.push(
+            done, lambda t: self._compute_done(core, warp, n_inst, lines, t)
+        )
+
+    def _compute_done(
+        self, core: Core, warp: Warp, n_inst: int, lines: list[int], now: float
+    ) -> None:
+        self.collector.note_insts(warp.app_id, n_inst)
+        warp.iterations += 1
+        if not lines:
+            self._iteration_complete(core, warp, now)
+            return
+        warp.pending = len(lines)
+        warp.issue_time = now
+        l1 = self.l1s[core.core_id]
+        n_hits = 0
+        for line in lines:
+            hit = l1.access(line, warp.app_id)
+            self.collector.note_l1(warp.app_id, hit)
+            if hit:
+                n_hits += 1
+            else:
+                self._l1_miss(core, warp, line, now)
+        if n_hits:
+            self.events.push(
+                now + self.config.l1_hit_latency,
+                lambda t: self._warp_responses(core, warp, n_hits, t),
+            )
+
+    def _warp_responses(self, core: Core, warp: Warp, n: int, now: float) -> None:
+        warp.pending -= n
+        if warp.pending < 0:
+            raise RuntimeError("warp received more responses than requests")
+        if warp.pending == 0:
+            self.collector.note_mem_request(warp.app_id, now - warp.issue_time)
+            self._iteration_complete(core, warp, now)
+
+    def _iteration_complete(self, core: Core, warp: Warp, now: float) -> None:
+        if warp.active:
+            self._start_warp(core, warp, now)
+        else:
+            warp.parked = True
+
+    # ------------------------------------------------------------------
+    # Memory hierarchy
+    # ------------------------------------------------------------------
+
+    def _l1_miss(self, core: Core, warp: Warp, line: int, now: float) -> None:
+        status = self.l1_mshrs[core.core_id].allocate(line, warp)
+        if status == "merged":
+            return
+        if status == "full":
+            # Back-pressure: park the access; it is re-driven when a fill
+            # frees an MSHR entry (see _l1_fill).
+            self._l1_deferred[core.core_id].append(
+                lambda t: self._l1_miss(core, warp, line, t)
+            )
+            return
+        channel = self.addr_map.channel_of(line)
+        arrive = self.crossbar.send_request(channel, now)
+        self.events.push(
+            arrive, lambda t: self._l2_access(channel, core, line, warp.app_id, t)
+        )
+
+    def _l2_access(
+        self, channel: int, core: Core, line: int, app_id: int, now: float
+    ) -> None:
+        l2 = self.l2s[channel]
+        hit = l2.access(line, app_id)
+        self.collector.note_l2(app_id, hit)
+        if hit:
+            deliver = self.crossbar.send_response(
+                channel, now + self.config.l2_hit_latency
+            )
+            self.events.push(deliver, lambda t: self._l1_fill(core, line, app_id, t))
+            return
+        self._l2_miss(channel, core, line, app_id, now)
+
+    def _l2_miss(
+        self, channel: int, core: Core, line: int, app_id: int, now: float
+    ) -> None:
+        """Allocate the L2 miss and send it to DRAM (access already counted)."""
+        status = self.l2_mshrs[channel].allocate(line, core)
+        if status == "merged":
+            return
+        if status == "full":
+            self._l2_deferred[channel].append(
+                lambda t: self._l2_miss(channel, core, line, app_id, t)
+            )
+            return
+        self._to_dram(channel, line, app_id, now)
+
+    def _to_dram(self, channel: int, line: int, app_id: int, now: float) -> None:
+        """Enqueue at the channel, deferring while its queue is full."""
+        if self.channels[channel].is_full:
+            self._dram_deferred[channel].append(
+                lambda t: self._to_dram(channel, line, app_id, t)
+            )
+            return
+        bank, row = self.addr_map.bank_row_of(line)
+        request = DRAMRequest(
+            line_addr=line,
+            app_id=app_id,
+            bank=bank,
+            row=row,
+            enqueue_time=now,
+            callback=lambda req, t, ch=channel: self._dram_done(ch, req, t),
+        )
+        self.channels[channel].enqueue(request, now)
+
+    def _drain_dram_deferred(self, channel: int, now: float) -> None:
+        deferred = self._dram_deferred[channel]
+        if deferred and not self.channels[channel].is_full:
+            deferred.popleft()(now)
+
+    def _dram_done(self, channel: int, request: DRAMRequest, now: float) -> None:
+        self.collector.note_dram(request.app_id, request.row_hit)
+        self.l2s[channel].fill(request.line_addr, request.app_id)
+        for core in self.l2_mshrs[channel].release(request.line_addr):
+            deliver = self.crossbar.send_response(channel, now)
+            self.events.push(
+                deliver,
+                lambda t, c=core: self._l1_fill(c, request.line_addr, request.app_id, t),
+            )
+        self._drain_deferred(
+            self._l2_deferred[channel], self.l2_mshrs[channel], now
+        )
+
+    def _l1_fill(self, core: Core, line: int, app_id: int, now: float) -> None:
+        self.l1s[core.core_id].fill(line, app_id)
+        for warp in self.l1_mshrs[core.core_id].release(line):
+            self._warp_responses(core, warp, 1, now)
+        self._drain_deferred(
+            self._l1_deferred[core.core_id], self.l1_mshrs[core.core_id], now
+        )
+
+    @staticmethod
+    def _drain_deferred(
+        deferred: deque[Callable[[float], None]], mshr: MSHRTable, now: float
+    ) -> None:
+        """Re-drive parked accesses while the MSHR table has free entries."""
+        while deferred and len(mshr) < mshr.n_entries:
+            deferred.popleft()(now)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: int,
+        warmup: int | None = None,
+        initial_tlp: dict[int, int] | None = None,
+    ) -> SimResult:
+        """Simulate for ``max_cycles`` and return measured-region results.
+
+        ``warmup`` cycles (default: 20% of the run) are excluded from the
+        reported samples so cold caches and controller search transients
+        do not skew steady-state metrics.
+        """
+        if warmup is None:
+            warmup = max_cycles // 5
+        if warmup >= max_cycles:
+            raise ValueError("warmup must be shorter than the run")
+        if self._ran:
+            raise RuntimeError(
+                "a Simulator instance runs once; build a new one to re-run"
+            )
+        self._ran = True
+
+        initial_tlp = initial_tlp or {}
+        for app_id in range(len(self.apps)):
+            self.set_tlp(app_id, initial_tlp.get(app_id, self.config.max_tlp))
+
+        self.events.push(float(warmup), lambda t: self.collector.start_measurement(t))
+
+        if self.controller is not None:
+            self.controller.start(self, 0.0)
+            self._schedule_controller_window(self.controller.sample_period)
+
+        self.events.run_until(float(max_cycles))
+
+        samples = self.collector.measurement(float(max_cycles))
+        elapsed = float(max_cycles)
+        busy = sum(ch.busy_cycles for ch in self.channels)
+        return SimResult(
+            samples=samples,
+            cycles=float(max_cycles) - warmup,
+            tlp_timeline=list(self.tlp_timeline),
+            windows=list(self.window_log),
+            final_tlp=dict(self.current_tlp),
+            dram_utilization=busy / (elapsed * len(self.channels)),
+        )
+
+    def _schedule_controller_window(self, when: float) -> None:
+        self.events.push(when, self._controller_window)
+
+    def _controller_window(self, now: float) -> None:
+        assert self.controller is not None
+        windows = self.collector.cut_window(now)
+        self.window_log.append((now, windows))
+        self.controller.on_window(self, now, windows)
+        self._schedule_controller_window(now + self.controller.sample_period)

@@ -1,0 +1,179 @@
+"""Per-application statistics collection.
+
+The paper's mechanisms consume exactly three runtime signals per
+application — L1 miss rate, L2 miss rate, and attained DRAM bandwidth —
+sampled over windows (Figure 8).  :class:`StatsCollector` maintains the
+cumulative counters; :meth:`StatsCollector.window` returns the per-window
+deltas as :class:`WindowSample` objects, from which BW, CMR and EB are
+derived the same way the hardware PBS unit would compute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AppStats", "WindowSample", "StatsCollector"]
+
+
+@dataclass
+class AppStats:
+    """Cumulative counters for one application."""
+
+    insts: int = 0
+    l1_accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_lines: int = 0
+    mem_requests: int = 0
+    mem_latency_sum: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def copy(self) -> "AppStats":
+        return AppStats(**self.__dict__)
+
+    def delta(self, earlier: "AppStats") -> "AppStats":
+        return AppStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in self.__dict__}
+        )
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Derived per-application metrics over one observation window.
+
+    ``bw`` is the attained DRAM bandwidth normalized to the theoretical
+    peak (Table III); ``cmr`` is the product of L1 and L2 miss rates; and
+    ``eb = bw / cmr`` is the paper's effective bandwidth.
+    """
+
+    app_id: int
+    cycles: float
+    insts: int
+    ipc: float
+    l1_miss_rate: float
+    l2_miss_rate: float
+    cmr: float
+    bw: float
+    eb: float
+    avg_mem_latency: float
+    row_hit_rate: float
+
+    @classmethod
+    def from_counters(
+        cls, app_id: int, counters: AppStats, cycles: float, peak_lines_per_cycle: float
+    ) -> "WindowSample":
+        if cycles <= 0:
+            raise ValueError("window must span a positive number of cycles")
+        l1_mr = (
+            counters.l1_misses / counters.l1_accesses if counters.l1_accesses else 1.0
+        )
+        l2_mr = (
+            counters.l2_misses / counters.l2_accesses if counters.l2_accesses else 1.0
+        )
+        cmr = l1_mr * l2_mr
+        bw = counters.dram_lines / cycles / peak_lines_per_cycle
+        row_total = counters.row_hits + counters.row_misses
+        return cls(
+            app_id=app_id,
+            cycles=cycles,
+            insts=counters.insts,
+            ipc=counters.insts / cycles,
+            l1_miss_rate=l1_mr,
+            l2_miss_rate=l2_mr,
+            cmr=cmr,
+            bw=bw,
+            eb=bw / cmr if cmr > 0 else 0.0,
+            avg_mem_latency=(
+                counters.mem_latency_sum / counters.mem_requests
+                if counters.mem_requests
+                else 0.0
+            ),
+            row_hit_rate=(counters.row_hits / row_total) if row_total else 0.0,
+        )
+
+
+class StatsCollector:
+    """Cumulative and windowed statistics for every application.
+
+    The simulator engine calls the ``note_*`` methods on the relevant
+    events; controllers read windows through :meth:`window` /
+    :meth:`cut_window`.
+    """
+
+    def __init__(self, app_ids: list[int], peak_lines_per_cycle: float) -> None:
+        self.peak_lines_per_cycle = peak_lines_per_cycle
+        self.apps: dict[int, AppStats] = {a: AppStats() for a in app_ids}
+        self._window_base: dict[int, AppStats] = {a: AppStats() for a in app_ids}
+        self._window_start: float = 0.0
+        self._measure_base: dict[int, AppStats] = {a: AppStats() for a in app_ids}
+        self._measure_start: float = 0.0
+
+    # --- event hooks -------------------------------------------------------
+
+    def note_insts(self, app_id: int, n: int) -> None:
+        self.apps[app_id].insts += n
+
+    def note_l1(self, app_id: int, hit: bool) -> None:
+        s = self.apps[app_id]
+        s.l1_accesses += 1
+        if not hit:
+            s.l1_misses += 1
+
+    def note_l2(self, app_id: int, hit: bool) -> None:
+        s = self.apps[app_id]
+        s.l2_accesses += 1
+        if not hit:
+            s.l2_misses += 1
+
+    def note_dram(self, app_id: int, row_hit: bool) -> None:
+        s = self.apps[app_id]
+        s.dram_lines += 1
+        if row_hit:
+            s.row_hits += 1
+        else:
+            s.row_misses += 1
+
+    def note_mem_request(self, app_id: int, latency: float) -> None:
+        s = self.apps[app_id]
+        s.mem_requests += 1
+        s.mem_latency_sum += latency
+
+    # --- windows -----------------------------------------------------------
+
+    def cut_window(self, now: float) -> dict[int, WindowSample]:
+        """Return samples since the last cut and start a new window."""
+        samples = self.window(now)
+        self._window_base = {a: s.copy() for a, s in self.apps.items()}
+        self._window_start = now
+        return samples
+
+    def window(self, now: float) -> dict[int, WindowSample]:
+        """Samples since the last cut, without resetting the window."""
+        cycles = now - self._window_start
+        return {
+            a: WindowSample.from_counters(
+                a, self.apps[a].delta(self._window_base[a]), cycles,
+                self.peak_lines_per_cycle,
+            )
+            for a in self.apps
+        }
+
+    # --- measurement region (warmup exclusion) -----------------------------
+
+    def start_measurement(self, now: float) -> None:
+        """Mark the beginning of the measured region (end of warmup)."""
+        self._measure_base = {a: s.copy() for a, s in self.apps.items()}
+        self._measure_start = now
+
+    def measurement(self, now: float) -> dict[int, WindowSample]:
+        """Samples since :meth:`start_measurement` (whole measured run)."""
+        cycles = now - self._measure_start
+        return {
+            a: WindowSample.from_counters(
+                a, self.apps[a].delta(self._measure_base[a]), cycles,
+                self.peak_lines_per_cycle,
+            )
+            for a in self.apps
+        }

@@ -1,0 +1,40 @@
+"""Synthetic GPGPU application models.
+
+The paper evaluates 26 CUDA applications from Rodinia, Parboil, the CUDA
+SDK and SHOC (Table IV).  We have no GPU or binaries here, so each
+application is replaced by a seeded stochastic model of its
+*memory-system signature* — memory intensity, coalescing degree,
+per-warp footprint, temporal reuse, spatial/row locality, and inter-warp
+sharing — which is the only thing the paper's mechanisms observe.
+"""
+
+from repro.workloads.generator import (
+    EVALUATED_PAIRS,
+    REPRESENTATIVE_PAIRS,
+    all_pairs,
+    pair,
+    workload_name,
+)
+from repro.workloads.phases import PhasedProfile, PhasedStream
+from repro.workloads.synthetic import AppProfile, CoreStream, WarpAddressStream
+from repro.workloads.table4 import APPLICATIONS, app_by_abbr
+from repro.workloads.trace import Trace, TraceProfile, TraceStream, record_trace
+
+__all__ = [
+    "AppProfile",
+    "WarpAddressStream",
+    "CoreStream",
+    "APPLICATIONS",
+    "app_by_abbr",
+    "pair",
+    "all_pairs",
+    "workload_name",
+    "REPRESENTATIVE_PAIRS",
+    "EVALUATED_PAIRS",
+    "PhasedProfile",
+    "PhasedStream",
+    "Trace",
+    "TraceProfile",
+    "TraceStream",
+    "record_trace",
+]

@@ -1,0 +1,93 @@
+"""Phased applications: kernels whose memory behaviour changes over time.
+
+Real GPGPU applications run sequences of kernels with different memory
+signatures; the paper's PBS restarts its search when a kernel is
+re-launched, and Figure 11 shows the controller re-tuning mid-run.  A
+:class:`PhasedProfile` strings several :class:`~repro.workloads.synthetic.
+AppProfile` phases together: every warp switches to the next phase's
+address-stream behaviour after a fixed number of loop iterations,
+cycling through the phase list.
+
+A ``PhasedProfile`` duck-types the profile interface the simulator needs
+(``abbr``, ``make_core_stream``, ``make_stream``), so it can be passed
+anywhere an ``AppProfile`` is accepted — including the high-level
+runner and the online controllers, whose drift detection is exactly
+what phase changes exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.address import AddressMap
+from repro.workloads.synthetic import AppProfile, CoreStream, WarpAddressStream
+
+__all__ = ["PhasedProfile", "PhasedStream"]
+
+
+@dataclass(frozen=True)
+class PhasedProfile:
+    """A cyclic sequence of behaviour phases for one application."""
+
+    abbr: str
+    phases: tuple[AppProfile, ...]
+    iterations_per_phase: int = 200
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a phased profile needs at least one phase")
+        if self.iterations_per_phase < 1:
+            raise ValueError("iterations_per_phase must be >= 1")
+
+    @property
+    def name(self) -> str:
+        inner = " -> ".join(p.abbr for p in self.phases)
+        return f"phased({inner})"
+
+    def make_core_stream(
+        self, app_id: int, core_id: int, addr_map: AddressMap
+    ) -> list[CoreStream]:
+        """One shared cursor per phase (phases stream separate regions)."""
+        return [
+            phase.make_core_stream(app_id, core_id, addr_map)
+            for phase in self.phases
+        ]
+
+    def make_stream(
+        self,
+        app_id: int,
+        core_id: int,
+        warp_id: int,
+        seed: int,
+        addr_map: AddressMap,
+        core_stream: list[CoreStream],
+    ) -> "PhasedStream":
+        streams = [
+            phase.make_stream(
+                app_id, core_id, warp_id, seed + i, addr_map, core_stream[i]
+            )
+            for i, phase in enumerate(self.phases)
+        ]
+        return PhasedStream(streams, self.iterations_per_phase)
+
+
+class PhasedStream:
+    """Delegates to one phase's stream, rotating every N iterations."""
+
+    def __init__(
+        self, streams: list[WarpAddressStream], iterations_per_phase: int
+    ) -> None:
+        if not streams:
+            raise ValueError("need at least one phase stream")
+        self.streams = streams
+        self.iterations_per_phase = iterations_per_phase
+        self._iteration = 0
+
+    @property
+    def current_phase(self) -> int:
+        return (self._iteration // self.iterations_per_phase) % len(self.streams)
+
+    def next_request(self) -> tuple[int, list[int]]:
+        stream = self.streams[self.current_phase]
+        self._iteration += 1
+        return stream.next_request()

@@ -1,0 +1,111 @@
+"""The 26-application zoo of Table IV.
+
+Each entry is a synthetic stand-in for the corresponding CUDA workload
+(Rodinia / Parboil / CUDA SDK / SHOC / GUPS), parameterized to evoke its
+published memory behaviour:
+
+* compute-bound kernels (LUD, NW, QTC, ...) barely touch memory;
+* streaming kernels (BLK, SCP, LIB, RED, SCAN, ...) have near-unity
+  combined miss rates, so their effective bandwidth equals their
+  attained DRAM bandwidth (the paper calls BLK out for exactly this);
+* cache-sensitive kernels (BFS, JPEG, LPS, DS, FFT, ...) amplify DRAM
+  bandwidth through low miss rates at moderate TLP and thrash at high
+  TLP;
+* bandwidth hogs with mediocre locality (TRD, FWT, GUPS, CFD) pressure
+  the shared memory system.
+
+The group labels G1–G4 of Table IV are *measured*, not declared: the
+paper buckets applications by their EB at bestTLP, and so do we — see
+:func:`repro.experiments.table4.run_table4` which derives groups from
+simulated EB values.  :data:`GROUP_QUANTILES` defines the bucket edges.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import AppProfile
+
+__all__ = ["APPLICATIONS", "app_by_abbr", "GROUP_QUANTILES"]
+
+#: Quantile edges used to bucket applications into G1..G4 by EB@bestTLP.
+GROUP_QUANTILES = (0.25, 0.5, 0.75)
+
+APPLICATIONS: tuple[AppProfile, ...] = (
+    # --- compute-bound, low memory demand (expected G1) -----------------
+    AppProfile("LUD", "LU Decomposition (Rodinia)", r_m=0.005, coalesce=1,
+               footprint_lines=4, p_reuse=0.75, p_seq=0.20),
+    AppProfile("NW", "Needleman-Wunsch (Rodinia)", r_m=0.006, coalesce=1,
+               footprint_lines=4, p_reuse=0.70, p_seq=0.25),
+    AppProfile("QTC", "Quality Threshold Clustering (SHOC)", r_m=0.007,
+               coalesce=2, divergent=True, footprint_lines=4, p_reuse=0.65,
+               p_seq=0.15),
+    AppProfile("HISTO", "Histogramming (Parboil)", r_m=0.010, coalesce=1,
+               footprint_lines=6, p_reuse=0.45, p_seq=0.15,
+               shared_frac=0.35, shared_lines=512),
+    AppProfile("SAD", "Sum of Absolute Differences (Parboil)", r_m=0.008,
+               coalesce=1, footprint_lines=6, p_reuse=0.65, p_seq=0.30),
+    AppProfile("RAY", "Ray Tracing (CUDA SDK)", r_m=0.012, coalesce=4,
+               divergent=True, footprint_lines=8, p_reuse=0.65, p_seq=0.10),
+    # --- streaming / cache-insensitive (expected G2) ----------------------
+    AppProfile("RED", "Reduction (SHOC)", r_m=0.12, coalesce=1,
+               footprint_lines=2, p_reuse=0.0, p_seq=0.97),
+    AppProfile("SCAN", "Scan (SHOC)", r_m=0.14, coalesce=1,
+               footprint_lines=2, p_reuse=0.0, p_seq=0.95),
+    AppProfile("SC", "Streamcluster (Rodinia)", r_m=0.16, coalesce=1,
+               footprint_lines=4, p_reuse=0.05, p_seq=0.85,
+               shared_frac=0.08, shared_lines=1024),
+    AppProfile("GUPS", "Giga-Updates Per Second", r_m=0.30, coalesce=1,
+               footprint_lines=1, p_reuse=0.0, p_seq=0.0,
+               stream_lines=1 << 21),
+    AppProfile("TRD", "Transpose Diagonal (SHOC)", r_m=0.30, coalesce=2,
+               footprint_lines=4, p_reuse=0.05, p_seq=0.45),
+    AppProfile("FWT", "Fast Walsh Transform (CUDA SDK)", r_m=0.26,
+               coalesce=2, divergent=True, footprint_lines=8, p_reuse=0.10,
+               p_seq=0.55),
+    # --- high-bandwidth streaming (expected G3) ---------------------------
+    AppProfile("BLK", "Blackscholes (CUDA SDK)", r_m=0.25, coalesce=1,
+               footprint_lines=1, p_reuse=0.0, p_seq=0.985),
+    AppProfile("SCP", "Scalar Product (CUDA SDK)", r_m=0.22, coalesce=1,
+               footprint_lines=2, p_reuse=0.0, p_seq=0.97),
+    AppProfile("LIB", "LIBOR Monte Carlo (CUDA SDK)", r_m=0.18, coalesce=1,
+               footprint_lines=2, p_reuse=0.05, p_seq=0.92),
+    AppProfile("CONS", "Separable Convolution (CUDA SDK)", r_m=0.22,
+               coalesce=1, footprint_lines=8, p_reuse=0.15, p_seq=0.80),
+    AppProfile("SRAD", "Speckle-Reducing Diffusion (Rodinia)", r_m=0.20,
+               coalesce=1, footprint_lines=8, p_reuse=0.10, p_seq=0.85),
+    AppProfile("LUH", "LULESH hydrodynamics", r_m=0.22, coalesce=1,
+               footprint_lines=16, p_reuse=0.20, p_seq=0.65,
+               shared_frac=0.10, shared_lines=2048),
+    AppProfile("CFD", "CFD Euler Solver (Rodinia)", r_m=0.28, coalesce=4,
+               divergent=True, footprint_lines=16, p_reuse=0.30, p_seq=0.25,
+               shared_frac=0.20, shared_lines=2048),
+    AppProfile("BP", "Backpropagation (Rodinia)", r_m=0.15, coalesce=1,
+               footprint_lines=8, p_reuse=0.15, p_seq=0.60,
+               shared_frac=0.20, shared_lines=2048),
+    # --- cache-amplified, high EB (expected G4) -----------------------------
+    AppProfile("HS", "Hotspot (Rodinia)", r_m=0.18, coalesce=1,
+               footprint_lines=12, p_reuse=0.35, p_seq=0.60),
+    AppProfile("FFT", "Fast Fourier Transform (Parboil)", r_m=0.30,
+               coalesce=2, footprint_lines=32, p_reuse=0.35, p_seq=0.45),
+    AppProfile("BFS", "Breadth-First Search (Rodinia)", r_m=0.35,
+               coalesce=6, divergent=True, footprint_lines=12, p_reuse=0.55,
+               p_seq=0.10, shared_frac=0.15, shared_lines=1024),
+    AppProfile("DS", "Depth-of-field / Separable Downsample", r_m=0.24,
+               coalesce=1, footprint_lines=24, p_reuse=0.40, p_seq=0.50),
+    AppProfile("LPS", "3D Laplace Solver (CUDA SDK)", r_m=0.20, coalesce=1,
+               footprint_lines=24, p_reuse=0.30, p_seq=0.62),
+    AppProfile("JPEG", "JPEG Decode (CUDA SDK)", r_m=0.14, coalesce=1,
+               footprint_lines=24, p_reuse=0.35, p_seq=0.55),
+)
+
+_BY_ABBR = {p.abbr: p for p in APPLICATIONS}
+if len(_BY_ABBR) != len(APPLICATIONS):  # pragma: no cover - author error guard
+    raise RuntimeError("duplicate application abbreviation in Table IV zoo")
+
+
+def app_by_abbr(abbr: str) -> AppProfile:
+    """Look up an application profile by its Table IV abbreviation."""
+    try:
+        return _BY_ABBR[abbr.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ABBR))
+        raise KeyError(f"unknown application {abbr!r}; known: {known}") from None

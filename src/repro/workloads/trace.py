@@ -1,0 +1,151 @@
+"""Record and replay address traces.
+
+Downstream users often have memory traces from real hardware or other
+simulators.  This module closes the loop in both directions:
+
+* :func:`record_trace` runs an application's synthetic streams for a
+  fixed number of requests per warp and captures the (instruction-gap,
+  line-addresses) sequence;
+* :class:`TraceProfile` duck-types the profile interface, replaying a
+  recorded :class:`Trace` inside the simulator (cycling when a warp
+  exhausts its recording);
+* traces serialize to a compact JSON file via :meth:`Trace.save` /
+  :meth:`Trace.load`.
+
+Replaying a trace is deterministic by construction, which also makes
+traces useful as golden inputs in regression tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import GPUConfig
+from repro.sim.address import AddressMap
+from repro.workloads.synthetic import AppProfile
+
+__all__ = ["Trace", "TraceProfile", "TraceStream", "record_trace"]
+
+#: one warp's recording: a list of (inst_gap, [line addresses]) requests
+WarpTrace = list[tuple[int, list[int]]]
+
+
+@dataclass
+class Trace:
+    """Per-(core, warp) recorded request streams for one application."""
+
+    abbr: str
+    warps: dict[tuple[int, int], WarpTrace] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.warps.values())
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "abbr": self.abbr,
+            "warps": [
+                {"core": core, "warp": warp,
+                 "requests": [[gap, lines] for gap, lines in trace]}
+                for (core, warp), trace in sorted(self.warps.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        payload = json.loads(Path(path).read_text())
+        warps = {
+            (entry["core"], entry["warp"]): [
+                (gap, list(lines)) for gap, lines in entry["requests"]
+            ]
+            for entry in payload["warps"]
+        }
+        return cls(abbr=payload["abbr"], warps=warps)
+
+
+def record_trace(
+    profile: AppProfile,
+    config: GPUConfig,
+    app_id: int = 0,
+    n_cores: int | None = None,
+    requests_per_warp: int = 256,
+    seed: int = 0,
+) -> Trace:
+    """Capture ``requests_per_warp`` requests from every warp's stream."""
+    if requests_per_warp < 1:
+        raise ValueError("requests_per_warp must be >= 1")
+    n_cores = n_cores if n_cores is not None else config.n_cores
+    addr_map = AddressMap.from_config(config)
+    trace = Trace(abbr=profile.abbr)
+    for core_id in range(n_cores):
+        core_stream = profile.make_core_stream(app_id, core_id, addr_map)
+        streams = [
+            profile.make_stream(
+                app_id, core_id, warp_id, seed, addr_map, core_stream
+            )
+            for warp_id in range(config.max_warps_per_core)
+        ]
+        for warp_id in range(config.max_warps_per_core):
+            trace.warps[(core_id, warp_id)] = []
+        # Interleave the recording round-robin across warps: concurrent
+        # warps share the sequential cursor, so recording them serially
+        # would assign each warp a long private chunk and destroy the
+        # cross-warp row-buffer adjacency the replay should exhibit.
+        for _ in range(requests_per_warp):
+            for warp_id, stream in enumerate(streams):
+                trace.warps[(core_id, warp_id)].append(stream.next_request())
+    return trace
+
+
+class TraceStream:
+    """Replays one warp's recorded requests, cycling at the end."""
+
+    def __init__(self, requests: WarpTrace) -> None:
+        if not requests:
+            raise ValueError("cannot replay an empty warp trace")
+        self.requests = requests
+        self._pos = 0
+
+    def next_request(self) -> tuple[int, list[int]]:
+        gap, lines = self.requests[self._pos]
+        self._pos += 1
+        if self._pos >= len(self.requests):
+            self._pos = 0
+        return gap, list(lines)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Profile facade replaying a :class:`Trace` inside the simulator.
+
+    The trace's (core, warp) keys are matched modulo the recorded core
+    count, so a trace captured on N cores can drive any core assignment.
+    """
+
+    trace: Trace
+
+    @property
+    def abbr(self) -> str:
+        return self.trace.abbr
+
+    def _recorded_cores(self) -> list[int]:
+        return sorted({core for core, _ in self.trace.warps})
+
+    def make_core_stream(self, app_id: int, core_id: int, addr_map) -> None:
+        return None  # traces carry their own addresses; no shared cursor
+
+    def make_stream(
+        self, app_id: int, core_id: int, warp_id: int, seed: int,
+        addr_map, core_stream,
+    ) -> TraceStream:
+        cores = self._recorded_cores()
+        source_core = cores[core_id % len(cores)]
+        key = (source_core, warp_id)
+        if key not in self.trace.warps:
+            raise KeyError(
+                f"trace for {self.abbr} has no warp {warp_id} on core "
+                f"{source_core}"
+            )
+        return TraceStream(self.trace.warps[key])

@@ -1,0 +1,71 @@
+"""Tests for the analytical-model validation helpers."""
+
+import pytest
+
+from repro.analysis.model import LinearFit, fit_ipc_vs_eb, predict_ws_from_eb
+from repro.config import small_config
+from repro.core.runner import AloneProfile, RunLengths, profile_alone, profile_surface
+from repro.workloads.table4 import app_by_abbr
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = fit_ipc_vs_eb([(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.predict(3.0) == pytest.approx(7.0)
+
+    def test_noisy_line_has_partial_r2(self):
+        fit = fit_ipc_vs_eb([(0, 0.0), (1, 1.2), (2, 1.8), (3, 3.1)])
+        assert 0.9 < fit.r2 < 1.0
+
+    def test_constant_y_is_perfect(self):
+        fit = fit_ipc_vs_eb([(0, 2.0), (1, 2.0), (2, 2.0)])
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_ipc_vs_eb([(1.0, 1.0)])
+
+
+class TestEquationValidation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = small_config()
+        apps = [app_by_abbr("BLK"), app_by_abbr("TRD")]
+        lengths = RunLengths.quick()
+        alone = [profile_alone(cfg, a, cfg.n_cores // 2, lengths=lengths,
+                               seed=2) for a in apps]
+        surface = profile_surface(cfg, apps, lengths=lengths, seed=2)
+        return alone, surface
+
+    def test_eq1_linear_on_real_surface(self, setup):
+        from repro.analysis.model import validate_eq1
+
+        _, surface = setup
+        for app_id in (0, 1):
+            fit = validate_eq1(surface, app_id)
+            assert fit.n == 64
+            assert fit.slope > 0, "IPC must grow with EB"
+            assert fit.r2 > 0.5, "Equation 1 must hold qualitatively"
+
+    def test_eq5_predicts_ws(self, setup):
+        from repro.analysis.model import validate_eq5
+
+        alone, surface = setup
+        fit = validate_eq5(surface, alone)
+        assert fit.slope > 0
+        assert fit.r2 > 0.5
+
+    def test_predict_ws_shape(self, setup):
+        alone, surface = setup
+        result = surface[(8, 8)]
+        predicted = predict_ws_from_eb(result, alone)
+        assert predicted > 0
+        # prediction is the sum of two scaled EBs, each bounded by the
+        # shared/alone ratio
+        assert predicted <= sum(
+            result.samples[a].eb / alone[a].eb_alone for a in (0, 1)
+        ) + 1e-12

@@ -1,0 +1,85 @@
+"""Tests for the CCWS-style locality-driven throttling baseline."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.ccws import CCWSController
+from repro.core.runner import RunLengths, evaluate_scheme, profile_alone
+from repro.sim.engine import Simulator
+from repro.workloads.table4 import app_by_abbr
+
+from tests.test_controllers import StubSim, window
+
+
+class TestCCWSDecisions:
+    def make(self, **kw):
+        ctrl = CCWSController(2, loss_margin=0.1, **kw)
+        sim = StubSim()
+        ctrl.start(sim, 0.0)
+        sim.flush()
+        return ctrl, sim
+
+    def test_starts_at_max(self):
+        _, sim = self.make()
+        assert sim.tlp == {0: 24, 1: 24}
+
+    def test_tracks_best_locality(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1.0, {0: window(0, cmr=0.40),
+                                  1: window(1, cmr=0.40)})
+        assert ctrl.best_l1_mr[0] == pytest.approx(0.40)
+        ctrl.on_window(sim, 2.0, {0: window(0, cmr=0.30),
+                                  1: window(1, cmr=0.30)})
+        assert ctrl.best_l1_mr[0] == pytest.approx(0.30)
+
+    def test_lost_locality_throttles(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1.0, {0: window(0, cmr=0.30),
+                                  1: window(1, cmr=0.30)})
+        sim.flush()
+        tlp_before = sim.tlp[0]
+        # L1 miss rate jumps well beyond the margin: throttle one step.
+        ctrl.on_window(sim, 2.0, {0: window(0, cmr=0.60),
+                                  1: window(1, cmr=0.30)})
+        sim.flush()
+        assert sim.tlp[0] < tlp_before
+        assert sim.tlp[1] >= tlp_before, "co-runner decisions independent"
+
+    def test_recovered_locality_releases(self):
+        ctrl, sim = self.make(initial_tlp=4)
+        # Miss rate at (and staying near) the best: one release per window.
+        ctrl.on_window(sim, 1.0, {0: window(0, cmr=0.30),
+                                  1: window(1, cmr=0.30)})
+        sim.flush()
+        assert sim.tlp[0] == 6
+        ctrl.on_window(sim, 2.0, {0: window(0, cmr=0.31),
+                                  1: window(1, cmr=0.31)})
+        sim.flush()
+        assert sim.tlp[0] == 8
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            CCWSController(2, loss_margin=0.0)
+        with pytest.raises(ValueError):
+            CCWSController(2, loss_margin=1.5)
+
+
+class TestCCWSEndToEnd:
+    def test_runs_on_real_simulator(self):
+        cfg = small_config()
+        ctrl = CCWSController(2, sample_period=800)
+        sim = Simulator(cfg, [app_by_abbr("BFS"), app_by_abbr("BLK")],
+                        controller=ctrl, seed=3)
+        result = sim.run(30_000, warmup=5_000, initial_tlp={0: 24, 1: 24})
+        assert result.samples[0].insts > 0
+        assert all(1 <= t <= 24 for _, _, t in result.tlp_timeline)
+
+    def test_scheme_dispatch(self):
+        cfg = small_config()
+        apps = [app_by_abbr("BFS"), app_by_abbr("BLK")]
+        lengths = RunLengths.quick()
+        alone = [profile_alone(cfg, a, cfg.n_cores // 2, lengths=lengths,
+                               seed=2) for a in apps]
+        r = evaluate_scheme(cfg, apps, "ccws", alone, lengths=lengths, seed=2)
+        assert r.scheme == "ccws"
+        assert r.ws > 0

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store(tmp_path, monkeypatch):
+    """Point the CLI's result cache at a temp dir."""
+    import repro.experiments.common as common
+
+    monkeypatch.setattr(common, "DEFAULT_RESULTS_DIR", tmp_path)
+    # ExperimentContext default factory captures the module attribute at
+    # call time through ResultStore's default, so patch its default too.
+    monkeypatch.setattr(
+        common.ResultStore, "__init__",
+        lambda self, root=tmp_path: (
+            setattr(self, "root", tmp_path),
+            tmp_path.mkdir(parents=True, exist_ok=True),
+        )[0] or None,
+    )
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["zoo"])
+        assert args.config == "medium"
+        assert not args.quick
+        assert args.seed == 1
+
+    def test_run_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "A", "B", "--scheme", "nope"])
+
+
+class TestCommands:
+    def test_zoo(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out and "BLK" in out
+        assert out.count("\n") >= 26
+
+    def test_profile(self, capsys):
+        assert main(["--config", "small", "--quick", "profile", "BLK"]) == 0
+        out = capsys.readouterr().out
+        assert "bestTLP" in out
+        assert "EB" in out
+
+    def test_profile_unknown_app(self, capsys):
+        assert main(["--config", "small", "--quick", "profile", "NOPE"]) == 2
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_run(self, capsys):
+        code = main(["--config", "small", "--quick",
+                     "run", "BLK", "TRD", "--scheme", "maxtlp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BLK_TRD under maxtlp" in out
+        assert "(24, 24)" in out
+
+    def test_compare(self, capsys):
+        code = main(["--config", "small", "--quick",
+                     "compare", "BLK", "TRD", "--schemes", "besttlp,maxtlp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "besttlp" in out and "maxtlp" in out
+
+    def test_compare_unknown_scheme(self, capsys):
+        code = main(["--config", "small", "--quick",
+                     "compare", "BLK", "TRD", "--schemes", "wat"])
+        assert code == 2
+        assert "unknown schemes" in capsys.readouterr().err
+
+
+class TestCLIExtras:
+    def test_compare_includes_ccws_scheme(self, capsys):
+        code = main(["--config", "small", "--quick",
+                     "compare", "BLK", "TRD", "--schemes", "ccws"])
+        assert code == 0
+        assert "ccws" in capsys.readouterr().out
+
+    def test_table4_quick(self, capsys):
+        assert main(["--config", "small", "--quick", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert out.count("G") >= 26  # every row carries a group label
+
+    def test_seed_flag_changes_results(self, capsys):
+        main(["--config", "small", "--quick", "--seed", "7",
+              "run", "BLK", "TRD", "--scheme", "maxtlp"])
+        first = capsys.readouterr().out
+        main(["--config", "small", "--quick", "--seed", "8",
+              "run", "BLK", "TRD", "--scheme", "maxtlp"])
+        second = capsys.readouterr().out
+        assert first != second

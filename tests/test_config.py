@@ -1,0 +1,122 @@
+"""Tests for repro.config: presets, validation, derived quantities."""
+
+import pytest
+
+from repro.config import (
+    MAX_TLP,
+    TLP_LEVELS,
+    CacheGeometry,
+    DRAMTimings,
+    GPUConfig,
+    medium_config,
+    paper_config,
+    small_config,
+)
+
+
+class TestTLPLevels:
+    def test_eight_levels(self):
+        assert len(TLP_LEVELS) == 8
+
+    def test_sixty_four_two_app_combinations(self):
+        assert len(TLP_LEVELS) ** 2 == 64
+
+    def test_levels_ascending_and_unique(self):
+        assert list(TLP_LEVELS) == sorted(set(TLP_LEVELS))
+
+    def test_max_tlp_is_24(self):
+        # 48 warps per core over two schedulers (paper §II)
+        assert MAX_TLP == 24
+        assert TLP_LEVELS[-1] == MAX_TLP
+
+
+class TestCacheGeometry:
+    def test_sets_and_lines(self):
+        geom = CacheGeometry(size_bytes=16 * 1024, assoc=4, line_bytes=128)
+        assert geom.n_sets == 32
+        assert geom.n_lines == 128
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, assoc=4, line_bytes=128)
+
+    def test_l2_slice_geometry(self):
+        geom = CacheGeometry(size_bytes=256 * 1024, assoc=16)
+        assert geom.n_sets == 128
+        assert geom.n_lines == 2048
+
+
+class TestDRAMTimings:
+    def test_row_miss_slower_than_row_hit(self):
+        t = DRAMTimings()
+        assert t.row_miss_service > t.row_hit_service
+
+    def test_row_miss_is_precharge_activate_cas(self):
+        t = DRAMTimings()
+        assert t.row_miss_service == t.t_rp + t.t_rcd + t.t_cl
+
+
+class TestGPUConfig:
+    def test_paper_preset_matches_table1(self):
+        cfg = paper_config()
+        assert cfg.n_cores == 24
+        assert cfg.n_channels == 6
+        assert cfg.l1.size_bytes == 16 * 1024
+        assert cfg.l1.assoc == 4
+        assert cfg.l2_per_channel.size_bytes == 256 * 1024
+        assert cfg.l2_per_channel.assoc == 16
+        assert cfg.banks_per_channel == 16
+        assert cfg.bank_groups_per_channel == 4
+        assert cfg.interleave_bytes == 256
+        assert cfg.max_warps_per_core == 48
+        assert cfg.schedulers_per_core == 2
+
+    def test_max_tlp_derivation(self):
+        cfg = paper_config()
+        assert cfg.max_tlp == 24
+
+    def test_peak_bandwidth_in_lines_per_cycle(self):
+        cfg = paper_config()
+        assert cfg.peak_bw_lines_per_cycle == pytest.approx(
+            cfg.n_channels / cfg.dram.burst_cycles
+        )
+
+    def test_l2_total(self):
+        cfg = paper_config()
+        assert cfg.l2_total_bytes == 6 * 256 * 1024
+
+    def test_medium_preserves_cache_per_core_ratio(self):
+        paper, medium = paper_config(), medium_config()
+        assert (
+            paper.l1.size_bytes == medium.l1.size_bytes
+        ), "per-core L1 must not change with scale"
+        assert paper.n_cores / paper.n_channels == pytest.approx(
+            medium.n_cores / medium.n_channels
+        ), "cores per memory channel must be preserved"
+
+    def test_small_config_valid(self):
+        cfg = small_config()
+        assert cfg.n_cores >= 2
+        assert cfg.max_tlp == 24
+
+    def test_rejects_odd_core_count(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_cores=7)
+
+    def test_rejects_tlp_levels_above_max(self):
+        with pytest.raises(ValueError):
+            GPUConfig(tlp_levels=(1, 2, 100))
+
+    def test_rejects_indivisible_warps_per_scheduler(self):
+        with pytest.raises(ValueError):
+            GPUConfig(max_warps_per_core=47)
+
+    def test_with_replaces_fields(self):
+        cfg = paper_config().with_(n_cores=12)
+        assert cfg.n_cores == 12
+        assert cfg.n_channels == paper_config().n_channels
+
+    def test_configs_are_frozen(self):
+        cfg = paper_config()
+        with pytest.raises(Exception):
+            cfg.n_cores = 10  # type: ignore[misc]

@@ -1,0 +1,278 @@
+"""Tests for the runtime controllers (DynCTA, Mod+Bypass, PBS online).
+
+Controller *decision logic* is tested against a stub simulator with
+fabricated window samples, so each rule is exercised deterministically;
+end-to-end controller behaviour on the real simulator is covered at the
+bottom and in test_integration.py.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.controller import (
+    COUNTER_RELAY_CYCLES,
+    BaseController,
+    StaticController,
+)
+from repro.core.dyncta import DynCTAController
+from repro.core.modbypass import ModBypassController
+from repro.core.pbs import PBSController
+from repro.sim.engine import EventQueue, Simulator
+from repro.sim.stats import AppStats, WindowSample
+from repro.workloads.table4 import app_by_abbr
+
+
+class StubSim:
+    """Just enough Simulator surface for controller unit tests."""
+
+    def __init__(self):
+        self.events = EventQueue()
+        self.tlp: dict[int, int] = {}
+        self.bypass: dict[int, bool] = {}
+
+    def set_tlp(self, app_id, tlp):
+        self.tlp[app_id] = tlp
+
+    def set_l2_bypass(self, app_id, bypass):
+        self.bypass[app_id] = bypass
+
+    def flush(self):
+        self.events.run_until(self.events.now + 1e6)
+
+
+def window(app_id=0, eb=0.3, cmr=0.5, latency=500.0, ipc=0.1) -> WindowSample:
+    return WindowSample(
+        app_id=app_id, cycles=1000.0, insts=int(ipc * 1000), ipc=ipc,
+        l1_miss_rate=cmr, l2_miss_rate=1.0, cmr=cmr, bw=eb * cmr, eb=eb,
+        avg_mem_latency=latency, row_hit_rate=0.5,
+    )
+
+
+class TestBaseController:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            StaticController({}, sample_period=0)
+
+    def test_actuation_is_delayed_by_relay_latency(self):
+        sim = StubSim()
+        ctrl = StaticController({})
+        ctrl.actuate(sim, 0, 4)
+        assert sim.tlp == {}, "not applied before the relay latency"
+        sim.events.run_until(COUNTER_RELAY_CYCLES)
+        assert sim.tlp == {0: 4}
+
+
+class TestStaticController:
+    def test_sets_combo_at_start_then_never_changes(self):
+        sim = StubSim()
+        ctrl = StaticController({0: 4, 1: 8})
+        ctrl.start(sim, 0.0)
+        assert sim.tlp == {0: 4, 1: 8}
+        ctrl.on_window(sim, 1000.0, {0: window(0), 1: window(1)})
+        sim.flush()
+        assert sim.tlp == {0: 4, 1: 8}
+
+
+class TestDynCTA:
+    def make(self, **kw):
+        ctrl = DynCTAController(2, lat_high=1500, lat_low=700, **kw)
+        sim = StubSim()
+        ctrl.start(sim, 0.0)
+        sim.flush()
+        return ctrl, sim
+
+    def test_starts_at_max_tlp_by_default(self):
+        ctrl, sim = self.make()
+        assert sim.tlp == {0: 24, 1: 24}
+
+    def test_high_latency_steps_down(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1000.0, {0: window(0, latency=5000),
+                                     1: window(1, latency=500)})
+        sim.flush()
+        assert sim.tlp[0] == 16, "one lattice step down from 24"
+        assert sim.tlp[1] == 24, "co-runner untouched (local decisions)"
+
+    def test_low_latency_steps_up(self):
+        ctrl, sim = self.make(initial_tlp=4)
+        ctrl.on_window(sim, 1000.0, {0: window(0, latency=100),
+                                     1: window(1, latency=500)})
+        sim.flush()
+        assert sim.tlp[0] == 6
+
+    def test_mid_latency_holds(self):
+        ctrl, sim = self.make(initial_tlp=8)
+        ctrl.on_window(sim, 1000.0, {0: window(0, latency=1000),
+                                     1: window(1, latency=1000)})
+        sim.flush()
+        assert sim.tlp == {0: 8, 1: 8}
+
+    def test_saturates_at_bottom(self):
+        ctrl, sim = self.make(initial_tlp=1)
+        for t in (1000.0, 2000.0):
+            ctrl.on_window(sim, t, {0: window(0, latency=9999),
+                                    1: window(1, latency=9999)})
+        sim.flush()
+        assert sim.tlp == {0: 1, 1: 1}
+
+    def test_decisions_logged(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1000.0, {0: window(0, latency=5000),
+                                     1: window(1)})
+        assert ctrl.decisions == [(1000.0, 0, 16)]
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError):
+            DynCTAController(2, lat_high=100, lat_low=200)
+
+
+class TestModBypass:
+    def make(self):
+        ctrl = ModBypassController(2, lat_high=1500, lat_low=700)
+        ctrl.WARMUP_WINDOWS = 0  # decision logic under test, not warmup
+        sim = StubSim()
+        ctrl.start(sim, 0.0)
+        sim.flush()
+        return ctrl, sim
+
+    def test_no_decisions_during_warmup(self):
+        ctrl = ModBypassController(2)
+        sim = StubSim()
+        ctrl.start(sim, 0.0)
+        sim.flush()
+        for t in range(1, ctrl.WARMUP_WINDOWS + 1):
+            ctrl.on_window(sim, float(t), {0: window(0, cmr=0.99),
+                                           1: window(1, cmr=0.99)})
+        assert sim.bypass == {}, "no bypass decisions while caches warm"
+
+    def test_cache_averse_app_gets_bypassed_after_hysteresis(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1000.0, {0: window(0, cmr=0.98),
+                                     1: window(1, cmr=0.3)})
+        assert sim.bypass == {}, "one window of evidence is not enough"
+        ctrl.on_window(sim, 2000.0, {0: window(0, cmr=0.98),
+                                     1: window(1, cmr=0.3)})
+        assert sim.bypass == {0: True}
+        assert 0 in ctrl.bypassed
+
+    def test_evidence_resets_on_contrary_window(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1000.0, {0: window(0, cmr=0.98), 1: window(1)})
+        ctrl.on_window(sim, 2000.0, {0: window(0, cmr=0.5), 1: window(1)})
+        ctrl.on_window(sim, 3000.0, {0: window(0, cmr=0.98), 1: window(1)})
+        assert sim.bypass == {}
+
+    def test_readmission_when_miss_rate_recovers(self):
+        ctrl, sim = self.make()
+        for t in (1.0, 2.0):
+            ctrl.on_window(sim, t, {0: window(0, cmr=0.98), 1: window(1)})
+        assert sim.bypass == {0: True}
+        for t in (3.0, 4.0):
+            ctrl.on_window(sim, t, {0: window(0, cmr=0.4), 1: window(1)})
+        assert sim.bypass == {0: False}
+
+    def test_also_modulates_tlp(self):
+        ctrl, sim = self.make()
+        ctrl.on_window(sim, 1000.0, {0: window(0, latency=5000),
+                                     1: window(1)})
+        sim.flush()
+        assert sim.tlp[0] == 16
+
+
+class TestPBSControllerOnRealSim:
+    def _run(self, metric, scale=None, cycles=150_000):
+        cfg = small_config()
+        ctrl = PBSController(metric, n_apps=2, scale=scale, sample_period=800)
+        sim = Simulator(
+            cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")],
+            controller=ctrl, seed=3,
+        )
+        result = sim.run(cycles, warmup=10_000,
+                         initial_tlp={0: 24, 1: 24})
+        return ctrl, result
+
+    def test_search_settles_on_a_lattice_combo(self):
+        ctrl, result = self._run("ws")
+        assert ctrl.final_combo is not None
+        assert all(lv in small_config().tlp_levels for lv in ctrl.final_combo)
+        assert ctrl.log.critical_app in (0, 1)
+
+    def test_tlp_timeline_shows_probe_then_settle(self):
+        ctrl, result = self._run("ws")
+        # Probing moves TLP many times; after settling it stays put.
+        assert len(result.tlp_timeline) > 10
+        final = ctrl.final_combo
+        assert result.final_tlp == {0: final[0], 1: final[1]}
+
+    def test_sampled_scaling_mode(self):
+        ctrl, result = self._run("fi", scale="sampled")
+        assert ctrl._scale is not None
+        assert all(s > 0 for s in ctrl._scale)
+        assert ctrl.final_combo is not None
+
+    def test_explicit_scale_sequence(self):
+        ctrl, _ = self._run("hs", scale=[0.5, 0.25])
+        assert ctrl._scale == [0.5, 0.25]
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            PBSController("nope", 2)
+
+
+class TestPBSControllerDrift:
+    """Drive the controller with fabricated windows through a full
+    search, settlement, and a drift-triggered re-search."""
+
+    def make_settled(self):
+        ctrl = PBSController(
+            "ws", n_apps=2, sample_period=1000,
+            levels=(1, 24), probe_levels=(1, 24), warmup_windows=0,
+        )
+        ctrl.SETTLE_WINDOWS = 0
+        ctrl.MEASURE_WINDOWS = 1
+        sim = StubSim()
+        ctrl.start(sim, 0.0)
+        sim.flush()
+        t = 0.0
+        # Feed constant EBs until the search completes.
+        for _ in range(40):
+            if ctrl._settled:
+                break
+            t += 1000.0
+            ctrl.on_window(sim, t, {0: window(0, eb=0.4),
+                                    1: window(1, eb=0.4)})
+            sim.flush()
+        assert ctrl._settled, "search must settle"
+        return ctrl, sim, t
+
+    def test_settles_and_survives_good_windows(self):
+        ctrl, sim, t = self.make_settled()
+        for _ in range(5):
+            t += 1000.0
+            ctrl.on_window(sim, t, {0: window(0, eb=0.4),
+                                    1: window(1, eb=0.4)})
+        assert ctrl.search_count == 1
+
+    def test_drift_triggers_research(self):
+        ctrl, sim, t = self.make_settled()
+        # Establish the settled objective with one good window.
+        t += 1000.0
+        ctrl.on_window(sim, t, {0: window(0, eb=0.4), 1: window(1, eb=0.4)})
+        # Then collapse it far below the drift threshold, repeatedly.
+        for _ in range(ctrl.DRIFT_PATIENCE + 1):
+            t += 1000.0
+            ctrl.on_window(sim, t, {0: window(0, eb=0.01),
+                                    1: window(1, eb=0.01)})
+            sim.flush()
+        assert ctrl.search_count == 2, "drift must restart the search"
+
+    def test_research_cap(self):
+        ctrl, sim, t = self.make_settled()
+        ctrl.search_count = ctrl.MAX_RESEARCHES + 1  # cap exhausted
+        t += 1000.0
+        ctrl.on_window(sim, t, {0: window(0, eb=0.4), 1: window(1, eb=0.4)})
+        for _ in range(ctrl.DRIFT_PATIENCE + 2):
+            t += 1000.0
+            ctrl.on_window(sim, t, {0: window(0, eb=0.01),
+                                    1: window(1, eb=0.01)})
+        assert ctrl.search_count == ctrl.MAX_RESEARCHES + 1

@@ -1,0 +1,117 @@
+"""Tests for repro.sim.core: issue server, warp contexts, SWL limiting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_config
+from repro.sim.core import Core, IssueServer, Warp
+
+
+class FakeStream:
+    def next_request(self):
+        return 4, []
+
+
+def make_core(app_id: int = 0, n_warps: int = 8) -> Core:
+    core = Core(0, app_id, small_config())
+    for _ in range(n_warps):
+        core.add_warp(FakeStream())
+    return core
+
+
+class TestIssueServer:
+    def test_single_warp_is_one_ipc(self):
+        """A lone warp retires at most one instruction per cycle."""
+        server = IssueServer(issue_width=2)
+        assert server.request(0.0, 10) == 10.0
+
+    def test_aggregate_throughput_is_issue_width(self):
+        server = IssueServer(issue_width=2)
+        finishes = [server.request(0.0, 10) for _ in range(8)]
+        # 8 warps x 10 instructions at width 2 -> 40 cycles aggregate.
+        assert max(finishes) == pytest.approx(40.0)
+
+    def test_idle_server_resets(self):
+        server = IssueServer(issue_width=2)
+        server.request(0.0, 100)
+        assert server.request(1000.0, 4) == pytest.approx(1004.0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            IssueServer(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1e5), st.integers(1, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_finish_never_before_per_warp_bound(self, reqs):
+        server = IssueServer(issue_width=2)
+        for now, n in sorted(reqs):
+            finish = server.request(now, n)
+            assert finish >= now + n
+
+
+class TestCoreTLP:
+    def test_active_limit_uses_both_schedulers(self):
+        core = make_core(n_warps=48)
+        core.set_tlp(4)
+        assert core.active_limit == 8  # 4 warps x 2 schedulers
+
+    def test_active_limit_capped_by_warp_count(self):
+        core = make_core(n_warps=4)
+        core.set_tlp(24)
+        assert core.active_limit == 4
+
+    def test_set_tlp_returns_warps_to_start(self):
+        core = make_core(n_warps=8)
+        started = core.set_tlp(2)  # 4 active
+        assert len(started) == 4
+        assert all(w.active and not w.parked for w in started)
+
+    def test_raising_tlp_starts_only_new_warps(self):
+        core = make_core(n_warps=8)
+        core.set_tlp(1)
+        started = core.set_tlp(3)
+        assert len(started) == 4  # from 2 active to 6
+
+    def test_lowering_tlp_deactivates_but_does_not_park(self):
+        core = make_core(n_warps=8)
+        core.set_tlp(3)
+        core.set_tlp(1)
+        deactivated = [w for w in core.warps if not w.active]
+        assert len(deactivated) == 6
+        # They drain asynchronously: set_tlp must not force-park them.
+        assert all(not w.parked for w in core.warps[2:6])
+
+    def test_reactivating_drained_warp_returns_it(self):
+        core = make_core(n_warps=4)
+        core.set_tlp(2)
+        core.set_tlp(1)
+        core.warps[2].parked = True  # simulate its drain completing
+        core.warps[3].parked = True
+        started = core.set_tlp(2)
+        assert set(started) == {core.warps[2], core.warps[3]}
+
+    def test_tlp_clamped_to_max(self):
+        core = make_core()
+        core.set_tlp(1000)
+        assert core.tlp == core.config.max_tlp
+
+    def test_rejects_zero_tlp(self):
+        with pytest.raises(ValueError):
+            make_core().set_tlp(0)
+
+    @given(st.lists(st.integers(1, 24), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_active_flags_always_match_limit(self, tlps):
+        core = make_core(n_warps=48)
+        for tlp in tlps:
+            for warp in core.set_tlp(tlp):
+                warp.parked = True  # immediately drain for the next round
+            active = sum(w.active for w in core.warps)
+            assert active == core.active_limit

@@ -1,0 +1,207 @@
+"""Tests for repro.sim.engine: event queue, memory-path invariants,
+multi-application execution, determinism, and TLP actuation."""
+
+import pytest
+
+from repro.config import small_config
+from repro.sim.engine import EventQueue, Simulator
+from repro.workloads.table4 import app_by_abbr
+
+from tests.conftest import run_small_pair
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.push(5.0, lambda t: seen.append(("b", t)))
+        q.push(1.0, lambda t: seen.append(("a", t)))
+        q.run_until(10.0)
+        assert seen == [("a", 1.0), ("b", 5.0)]
+
+    def test_ties_run_in_push_order(self):
+        q = EventQueue()
+        seen = []
+        q.push(1.0, lambda t: seen.append("first"))
+        q.push(1.0, lambda t: seen.append("second"))
+        q.run_until(2.0)
+        assert seen == ["first", "second"]
+
+    def test_events_after_horizon_stay_queued(self):
+        q = EventQueue()
+        seen = []
+        q.push(100.0, lambda t: seen.append(t))
+        q.run_until(50.0)
+        assert seen == []
+        assert len(q) == 1
+        assert q.now == 50.0
+
+    def test_rejects_events_in_the_past(self):
+        q = EventQueue()
+        q.push(10.0, lambda t: q.push(5.0, lambda _: None))
+        with pytest.raises(ValueError):
+            q.run_until(20.0)
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        seen = []
+        q.push(1.0, lambda t: q.push(t + 1, lambda u: seen.append(u)))
+        q.run_until(5.0)
+        assert seen == [2.0]
+
+
+class TestSimulatorConstruction:
+    def test_equal_core_split(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")])
+        assert len(sim.cores_of_app[0]) == small_cfg.n_cores // 2
+        assert len(sim.cores_of_app[1]) == small_cfg.n_cores // 2
+
+    def test_explicit_core_split(self, small_cfg):
+        sim = Simulator(
+            small_cfg,
+            [app_by_abbr("BLK"), app_by_abbr("TRD")],
+            core_split=(1, 1),
+        )
+        assert [c.app_id for c in sim.cores] == [0, 1]
+
+    def test_rejects_oversized_split(self, small_cfg):
+        with pytest.raises(ValueError):
+            Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(99,))
+
+    def test_rejects_mismatched_split(self, small_cfg):
+        with pytest.raises(ValueError):
+            Simulator(
+                small_cfg, [app_by_abbr("BLK")], core_split=(1, 1)
+            )
+
+    def test_rejects_empty_workload(self, small_cfg):
+        with pytest.raises(ValueError):
+            Simulator(small_cfg, [])
+
+    def test_full_warp_population(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(1,))
+        assert len(sim.cores[0].warps) == small_cfg.max_warps_per_core
+
+
+class TestRunInvariants:
+    def test_counter_conservation(self, small_cfg):
+        res_sim = Simulator(
+            small_cfg, [app_by_abbr("BFS"), app_by_abbr("BLK")], seed=3
+        )
+        res_sim.run(6000, warmup=1000, initial_tlp={0: 8, 1: 8})
+        for app in (0, 1):
+            s = res_sim.collector.apps[app]
+            assert s.l1_misses <= s.l1_accesses
+            assert s.l2_misses <= s.l2_accesses
+            # every L2 access is an L1 miss that wasn't MSHR-merged
+            assert s.l2_accesses <= s.l1_misses
+            # every DRAM line is an L2 miss that wasn't merged
+            assert s.dram_lines <= s.l2_misses
+            assert s.insts > 0
+
+    def test_bw_fraction_bounded(self, small_cfg):
+        result = run_small_pair(small_cfg, "BLK", "TRD", 24, 24)
+        total_bw = sum(result.samples[a].bw for a in (0, 1))
+        assert 0.0 < total_bw <= 1.0
+        assert 0.0 < result.dram_utilization <= 1.0
+
+    def test_determinism(self, small_cfg):
+        a = run_small_pair(small_cfg, "BFS", "BLK", seed=11)
+        b = run_small_pair(small_cfg, "BFS", "BLK", seed=11)
+        for app in (0, 1):
+            assert a.samples[app].insts == b.samples[app].insts
+            assert a.samples[app].bw == pytest.approx(b.samples[app].bw)
+
+    def test_seed_changes_results(self, small_cfg):
+        a = run_small_pair(small_cfg, "BFS", "BLK", seed=11)
+        b = run_small_pair(small_cfg, "BFS", "BLK", seed=12)
+        assert a.samples[0].insts != b.samples[0].insts
+
+    def test_warmup_excluded_from_measurement(self, small_cfg):
+        result = run_small_pair(small_cfg, "BLK", "TRD", cycles=8000, warmup=4000)
+        assert result.cycles == 4000
+        assert result.samples[0].cycles == 4000
+
+    def test_rejects_warmup_ge_run(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(1,))
+        with pytest.raises(ValueError):
+            sim.run(1000, warmup=1000)
+
+    def test_apps_isolated_in_address_space(self, small_cfg):
+        """Both apps make progress and register separate traffic."""
+        result = run_small_pair(small_cfg, "BLK", "BLK")
+        assert result.samples[0].insts > 0
+        assert result.samples[1].insts > 0
+
+
+class TestTLPActuation:
+    def test_initial_tlp_applied(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")])
+        sim.run(2000, warmup=500, initial_tlp={0: 2, 1: 8})
+        assert sim.current_tlp == {0: 2, 1: 8}
+        assert all(c.tlp == 2 for c in sim.cores_of_app[0])
+        assert all(c.tlp == 8 for c in sim.cores_of_app[1])
+
+    def test_timeline_records_changes(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")])
+        sim.events.push(1000.0, lambda t: sim.set_tlp(0, 4))
+        result = sim.run(3000, warmup=500, initial_tlp={0: 24, 1: 24})
+        changes = [(t, a, v) for t, a, v in result.tlp_timeline if t > 0]
+        assert (1000.0, 0, 4) in changes
+        assert result.final_tlp[0] == 4
+
+    def test_lower_tlp_reduces_issue_rate(self, small_cfg):
+        low = run_small_pair(small_cfg, "BLK", "BLK", 1, 1, cycles=6000)
+        high = run_small_pair(small_cfg, "BLK", "BLK", 16, 16, cycles=6000)
+        assert high.samples[0].insts > low.samples[0].insts
+
+    def test_set_tlp_clamps(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(1,))
+        sim.set_tlp(0, 9999)
+        assert sim.current_tlp[0] == small_cfg.max_tlp
+
+
+class TestBypass:
+    def test_l2_bypass_keeps_app_out_of_l2(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("TRD"), app_by_abbr("BLK")], seed=5)
+        sim.set_l2_bypass(0, True)
+        sim.run(6000, warmup=1000, initial_tlp={0: 8, 1: 8})
+        for l2 in sim.l2s:
+            assert 0 not in l2.occupancy_by_app()
+
+    def test_bypass_can_be_disabled(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("TRD")], core_split=(1,), seed=5)
+        sim.set_l2_bypass(0, True)
+        sim.set_l2_bypass(0, False)
+        sim.run(4000, warmup=1000, initial_tlp={0: 8})
+        assert sum(l2.resident_lines for l2 in sim.l2s) > 0
+
+    def test_l1_bypass(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(1,), seed=5)
+        sim.set_l1_bypass(0, True)
+        sim.run(4000, warmup=1000, initial_tlp={0: 8})
+        assert all(l1.resident_lines == 0 for l1 in sim.l1s[:1])
+
+
+class TestWayQuota:
+    def test_l2_quota_bounds_occupancy(self, small_cfg):
+        quota = 2
+        sim = Simulator(
+            small_cfg,
+            [app_by_abbr("TRD"), app_by_abbr("BLK")],
+            seed=5,
+            l2_way_quota={0: quota},
+        )
+        sim.run(6000, warmup=1000, initial_tlp={0: 24, 1: 24})
+        for l2 in sim.l2s:
+            for line_set in l2._sets:
+                owned = sum(1 for owner in line_set.values() if owner == 0)
+                assert owned <= quota
+
+
+class TestRunOnce:
+    def test_second_run_rejected(self, small_cfg):
+        sim = Simulator(small_cfg, [app_by_abbr("BLK")], core_split=(1,))
+        sim.run(2000, warmup=500, initial_tlp={0: 4})
+        with pytest.raises(RuntimeError, match="runs once"):
+            sim.run(2000, warmup=500, initial_tlp={0: 4})

@@ -1,0 +1,126 @@
+"""Integration tests: the paper's core phenomena emerge from the substrate.
+
+These run on the medium-scale GPU (the experiment configuration) with
+short simulations, checking the qualitative physics everything else
+rests on — not exact numbers.
+"""
+
+import pytest
+
+from repro.config import medium_config
+from repro.sim.engine import Simulator
+from repro.workloads.table4 import app_by_abbr
+
+
+def run_alone(cfg, abbr, tlp, cycles=20_000, warmup=5_000, seed=3):
+    sim = Simulator(cfg, [app_by_abbr(abbr)], core_split=(cfg.n_cores // 2,),
+                    seed=seed)
+    return sim.run(cycles, warmup=warmup, initial_tlp={0: tlp})
+
+
+def run_pair(cfg, a, b, tlp_a, tlp_b, cycles=20_000, warmup=5_000, seed=3):
+    sim = Simulator(cfg, [app_by_abbr(a), app_by_abbr(b)], seed=seed)
+    return sim.run(cycles, warmup=warmup, initial_tlp={0: tlp_a, 1: tlp_b})
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return medium_config()
+
+
+class TestSingleAppPhysics:
+    def test_bandwidth_rises_with_tlp_for_streaming_app(self, cfg):
+        low = run_alone(cfg, "BLK", 1)
+        high = run_alone(cfg, "BLK", 16)
+        assert high.samples[0].bw > 1.5 * low.samples[0].bw
+
+    def test_latency_rises_with_tlp(self, cfg):
+        low = run_alone(cfg, "BLK", 1)
+        high = run_alone(cfg, "BLK", 24)
+        assert (
+            high.samples[0].avg_mem_latency > low.samples[0].avg_mem_latency
+        )
+
+    def test_cache_sensitive_app_thrashes_at_high_tlp(self, cfg):
+        low = run_alone(cfg, "BFS", 2)
+        high = run_alone(cfg, "BFS", 24)
+        assert high.samples[0].cmr > low.samples[0].cmr, (
+            "aggregate footprint beyond cache capacity must raise CMR"
+        )
+
+    def test_streaming_app_is_cache_insensitive(self, cfg):
+        result = run_alone(cfg, "BLK", 8)
+        assert result.samples[0].cmr > 0.95
+        assert result.samples[0].eb == pytest.approx(
+            result.samples[0].bw, rel=0.05
+        )
+
+    def test_streaming_app_has_row_locality(self, cfg):
+        result = run_alone(cfg, "BLK", 8)
+        random_access = run_alone(cfg, "GUPS", 8)
+        assert (
+            result.samples[0].row_hit_rate
+            > random_access.samples[0].row_hit_rate + 0.2
+        )
+
+    def test_compute_bound_app_barely_uses_memory(self, cfg):
+        result = run_alone(cfg, "LUD", 8)
+        assert result.samples[0].bw < 0.1
+        assert result.dram_utilization < 0.2
+
+
+class TestSharedResourceContention:
+    def test_corunner_tlp_hurts_the_other_app(self, cfg):
+        gentle = run_pair(cfg, "JPEG", "TRD", 8, 1)
+        hostile = run_pair(cfg, "JPEG", "TRD", 8, 24)
+        assert hostile.samples[0].ipc < 0.9 * gentle.samples[0].ipc
+
+    def test_shared_run_slower_than_alone(self, cfg):
+        alone = run_alone(cfg, "JPEG", 8)
+        shared = run_pair(cfg, "JPEG", "TRD", 8, 8)
+        assert shared.samples[0].ipc < alone.samples[0].ipc
+
+    def test_l2_contention_visible_in_miss_rates(self, cfg):
+        gentle = run_pair(cfg, "BFS", "BLK", 4, 1)
+        hostile = run_pair(cfg, "BFS", "BLK", 4, 24)
+        assert (
+            hostile.samples[0].l2_miss_rate
+            > gentle.samples[0].l2_miss_rate
+        )
+
+    def test_total_bw_bounded_by_peak(self, cfg):
+        result = run_pair(cfg, "BLK", "TRD", 24, 24)
+        assert (
+            result.samples[0].bw + result.samples[1].bw <= 1.0 + 1e-9
+        )
+
+
+class TestEBPremise:
+    """IPC tracks EB within an application — Equation 1 / Figure 2d."""
+
+    @pytest.mark.parametrize("abbr", ["BFS", "BLK", "JPEG", "TRD"])
+    def test_ipc_eb_correlation_across_tlp(self, cfg, abbr):
+        points = []
+        for tlp in (1, 2, 4, 8, 16, 24):
+            s = run_alone(cfg, abbr, tlp).samples[0]
+            points.append((s.ipc, s.eb))
+        n = len(points)
+        mi = sum(p[0] for p in points) / n
+        me = sum(p[1] for p in points) / n
+        cov = sum((i - mi) * (e - me) for i, e in points)
+        vi = sum((i - mi) ** 2 for i, _ in points)
+        ve = sum((e - me) ** 2 for _, e in points)
+        corr = cov / (vi * ve) ** 0.5 if vi > 0 and ve > 0 else 1.0
+        assert corr > 0.7, f"{abbr}: IPC must track EB (got corr={corr:.2f})"
+
+
+class TestStationarity:
+    def test_short_and_long_runs_agree(self, cfg):
+        """Profiling-length runs approximate steady state (within ~15%)."""
+        short = run_pair(cfg, "FFT", "TRD", 8, 8, cycles=40_000, warmup=8_000)
+        long = run_pair(cfg, "FFT", "TRD", 8, 8, cycles=200_000,
+                        warmup=40_000)
+        for app in (0, 1):
+            assert short.samples[app].ipc == pytest.approx(
+                long.samples[app].ipc, rel=0.15
+            )

@@ -1,0 +1,178 @@
+"""Tests for repro.metrics: SD-based and EB-based metrics (Table III)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.bandwidth import (
+    alone_ratio,
+    combined_miss_rate,
+    eb_fi,
+    eb_hs,
+    eb_objective,
+    eb_ws,
+    effective_bandwidth,
+)
+from repro.metrics.slowdown import (
+    fairness_index,
+    harmonic_speedup,
+    sd_objective,
+    slowdown,
+    weighted_speedup,
+)
+
+POS = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestSlowdown:
+    def test_definition(self):
+        assert slowdown(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_rejects_zero_alone(self):
+        with pytest.raises(ValueError):
+            slowdown(1.0, 0.0)
+
+    def test_rejects_negative_shared(self):
+        with pytest.raises(ValueError):
+            slowdown(-0.1, 1.0)
+
+
+class TestWeightedSpeedup:
+    def test_sum(self):
+        assert weighted_speedup([0.6, 0.7]) == pytest.approx(1.3)
+
+    def test_max_is_app_count_without_interference(self):
+        assert weighted_speedup([1.0, 1.0]) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([])
+
+
+class TestFairnessIndex:
+    def test_balanced_is_one(self):
+        assert fairness_index([0.5, 0.5]) == 1.0
+
+    def test_two_app_form_matches_paper(self):
+        sds = [0.8, 0.4]
+        assert fairness_index(sds) == pytest.approx(
+            min(sds[0] / sds[1], sds[1] / sds[0])
+        )
+
+    def test_all_zero_is_fair(self):
+        assert fairness_index([0.0, 0.0]) == 1.0
+
+    @given(st.lists(POS, min_size=2, max_size=4))
+    @settings(max_examples=100)
+    def test_bounded_and_scale_invariant(self, sds):
+        fi = fairness_index(sds)
+        assert 0.0 < fi <= 1.0
+        assert fairness_index([s * 3.7 for s in sds]) == pytest.approx(fi)
+
+
+class TestHarmonicSpeedup:
+    def test_equal_slowdowns(self):
+        assert harmonic_speedup([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_penalizes_imbalance(self):
+        assert harmonic_speedup([0.9, 0.1]) < harmonic_speedup([0.5, 0.5])
+
+    def test_zero_slowdown_is_zero(self):
+        assert harmonic_speedup([0.0, 1.0]) == 0.0
+
+    @given(st.lists(POS, min_size=2, max_size=4))
+    @settings(max_examples=100)
+    def test_at_most_arithmetic_mean_times_n(self, sds):
+        # harmonic mean <= arithmetic mean
+        assert harmonic_speedup(sds) <= weighted_speedup(sds) / len(sds) + 1e-9
+
+
+class TestCombinedMissRate:
+    def test_product(self):
+        assert combined_miss_rate(0.5, 0.5) == 0.25
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            combined_miss_rate(1.5, 0.5)
+
+
+class TestEffectiveBandwidth:
+    def test_ratio(self):
+        assert effective_bandwidth(0.4, 0.5) == pytest.approx(0.8)
+
+    def test_cmr_one_is_bw(self):
+        """Useless caches: EB equals attained bandwidth (BLK case)."""
+        assert effective_bandwidth(0.37, 1.0) == pytest.approx(0.37)
+
+    def test_miss_rate_half_doubles_bandwidth(self):
+        # the paper: "a miss rate of 50% effectively doubles the
+        # bandwidth delivered"
+        assert effective_bandwidth(0.3, 0.5) == pytest.approx(0.6)
+
+    def test_zero_traffic_zero_eb(self):
+        assert effective_bandwidth(0.0, 0.0) == 0.0
+
+    def test_perfect_cache_with_traffic_is_infinite(self):
+        assert math.isinf(effective_bandwidth(0.1, 0.0))
+
+
+class TestEBMetrics:
+    def test_eb_ws_is_sum(self):
+        assert eb_ws([0.3, 0.4]) == pytest.approx(0.7)
+
+    def test_eb_fi_unscaled(self):
+        assert eb_fi([0.2, 0.4]) == pytest.approx(0.5)
+
+    def test_eb_fi_scaling_restores_balance(self):
+        # Apps with different alone-EB: scaling removes the bias (§IV).
+        ebs, alone = [0.2, 0.4], [0.25, 0.5]
+        assert eb_fi(ebs, alone) == pytest.approx(1.0)
+
+    def test_eb_hs(self):
+        assert eb_hs([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_scale_length_mismatch(self):
+        with pytest.raises(ValueError):
+            eb_fi([0.1, 0.2], [1.0])
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            eb_hs([0.1, 0.2], [1.0, 0.0])
+
+    def test_objective_dispatch(self):
+        ebs = [0.2, 0.6]
+        assert eb_objective("ws", ebs) == eb_ws(ebs)
+        assert eb_objective("fi", ebs) == eb_fi(ebs)
+        assert eb_objective("hs", ebs) == eb_hs(ebs)
+        with pytest.raises(ValueError):
+            eb_objective("nope", ebs)
+
+    def test_sd_objective_dispatch(self):
+        sds = [0.5, 0.9]
+        assert sd_objective("ws", sds) == weighted_speedup(sds)
+        assert sd_objective("fi", sds) == fairness_index(sds)
+        assert sd_objective("hs", sds) == harmonic_speedup(sds)
+        with pytest.raises(ValueError):
+            sd_objective("nope", sds)
+
+    @given(st.lists(POS, min_size=2, max_size=3))
+    @settings(max_examples=100)
+    def test_eb_fi_bounds(self, ebs):
+        assert 0.0 < eb_fi(ebs) <= 1.0
+
+
+class TestAloneRatio:
+    def test_symmetric_and_at_least_one(self):
+        assert alone_ratio(2.0, 4.0) == alone_ratio(4.0, 2.0) == 2.0
+        assert alone_ratio(3.0, 3.0) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            alone_ratio(0.0, 1.0)
+
+    @given(POS, POS)
+    @settings(max_examples=100)
+    def test_always_ge_one(self, a, b):
+        assert alone_ratio(a, b) >= 1.0

@@ -1,0 +1,134 @@
+"""Tests for repro.core.offline: BF-*, opt*, and PBS-Offline searches."""
+
+import pytest
+
+from repro.core.offline import (
+    brute_force_search,
+    oracle_search,
+    pbs_offline_search,
+    sampled_scale,
+)
+from repro.core.tlp import all_combos
+from repro.sim.engine import SimResult
+from repro.sim.stats import WindowSample
+
+
+def result_for(ebs: dict[int, float], ipcs: dict[int, float]) -> SimResult:
+    samples = {
+        a: WindowSample(
+            app_id=a, cycles=1000.0, insts=int(ipcs[a] * 1000), ipc=ipcs[a],
+            l1_miss_rate=0.5, l2_miss_rate=1.0, cmr=0.5, bw=ebs[a] * 0.5,
+            eb=ebs[a], avg_mem_latency=400.0, row_hit_rate=0.5,
+        )
+        for a in ebs
+    }
+    return SimResult(samples=samples, cycles=1000.0, tlp_timeline=[])
+
+
+def synthetic_surface(eb_fn, ipc_fn):
+    """Build a full 64-combo surface from analytic EB/IPC functions."""
+    surface = {}
+    for combo in all_combos(2):
+        ebs = {a: eb_fn(a, combo) for a in (0, 1)}
+        ipcs = {a: ipc_fn(a, combo) for a in (0, 1)}
+        surface[combo] = result_for(ebs, ipcs)
+    return surface
+
+
+def cliff_eb(app, combo, critical=0, cliff=4):
+    if app == critical:
+        return 1.0 if combo[app] <= cliff else 0.1
+    return min(combo[app], 8) / 8 * 0.5
+
+
+SURFACE = synthetic_surface(
+    cliff_eb, lambda a, c: cliff_eb(a, c) * (0.4 if a == 0 else 0.8)
+)
+
+
+class TestBruteForce:
+    def test_finds_global_eb_ws_argmax(self):
+        combo = brute_force_search(SURFACE, "ws", 2)
+        ebs = [SURFACE[combo].samples[a].eb for a in (0, 1)]
+        best = max(
+            sum(SURFACE[c].samples[a].eb for a in (0, 1)) for c in SURFACE
+        )
+        assert sum(ebs) == pytest.approx(best)
+
+    def test_fi_prefers_balance(self):
+        combo = brute_force_search(SURFACE, "fi", 2)
+        s = SURFACE[combo].samples
+        assert abs(s[0].eb - s[1].eb) <= 0.1
+
+    def test_scale_changes_fi_choice(self):
+        unscaled = brute_force_search(SURFACE, "fi", 2)
+        scaled = brute_force_search(SURFACE, "fi", 2, scale=[1.0, 0.25])
+        assert scaled != unscaled
+
+    def test_rejects_empty_surface(self):
+        with pytest.raises(ValueError):
+            brute_force_search({}, "ws", 2)
+
+
+class TestOracle:
+    def test_maximizes_sd_metric(self):
+        combo = oracle_search(SURFACE, "ws", alone_ipcs=[0.4, 0.8])
+        def ws(c):
+            return sum(
+                SURFACE[c].samples[a].ipc / [0.4, 0.8][a] for a in (0, 1)
+            )
+        assert ws(combo) == pytest.approx(max(ws(c) for c in SURFACE))
+
+    def test_oracle_at_least_as_good_as_any_fixed_combo(self):
+        combo = oracle_search(SURFACE, "hs", alone_ipcs=[0.4, 0.8])
+        from repro.metrics.slowdown import harmonic_speedup
+        def hs(c):
+            sds = [SURFACE[c].samples[a].ipc / [0.4, 0.8][a] for a in (0, 1)]
+            return harmonic_speedup(sds)
+        for other in ((24, 24), (1, 1), (4, 8)):
+            assert hs(combo) >= hs(other) - 1e-12
+
+    def test_rejects_nonpositive_alone(self):
+        with pytest.raises(ValueError):
+            oracle_search(SURFACE, "ws", alone_ipcs=[0.0, 1.0])
+
+
+class TestSampledScale:
+    def test_reads_probe_combos(self):
+        scale = sampled_scale(SURFACE, 2, ref_level=8, min_level=1)
+        assert scale[0] == pytest.approx(SURFACE[(8, 1)].samples[0].eb)
+        assert scale[1] == pytest.approx(SURFACE[(1, 8)].samples[1].eb)
+
+    def test_missing_probe_raises(self):
+        partial = {c: r for c, r in SURFACE.items() if c != (8, 1)}
+        with pytest.raises(KeyError):
+            sampled_scale(partial, 2, ref_level=8)
+
+    def test_zero_eb_guarded(self):
+        surface = synthetic_surface(lambda a, c: 0.0, lambda a, c: 0.1)
+        scale = sampled_scale(surface, 2)
+        assert all(s > 0 for s in scale)
+
+
+class TestPBSOffline:
+    def test_matches_cliff_structure(self):
+        combo, log = pbs_offline_search(SURFACE, "ws", 2)
+        assert log.critical_app == 0
+        assert log.fixed_level == 4
+        assert combo[0] == 4
+
+    def test_uses_fraction_of_the_surface(self):
+        _, log = pbs_offline_search(SURFACE, "ws", 2)
+        assert log.n_samples < len(SURFACE) / 2
+
+    def test_close_to_brute_force_on_patterned_surface(self):
+        pbs_combo, _ = pbs_offline_search(SURFACE, "ws", 2)
+        bf_combo = brute_force_search(SURFACE, "ws", 2)
+        def ebws(c):
+            return sum(SURFACE[c].samples[a].eb for a in (0, 1))
+        assert ebws(pbs_combo) >= 0.95 * ebws(bf_combo)
+
+    def test_missing_combo_raises(self):
+        partial = {c: r for c, r in SURFACE.items() if c[1] != 24}
+        with pytest.raises(KeyError):
+            pbs_offline_search(partial, "ws", 2)

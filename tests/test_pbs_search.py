@@ -1,0 +1,228 @@
+"""Tests for the pure PBS search algorithm on synthetic EB landscapes.
+
+These tests construct analytic EB surfaces with known inflection points
+and verify that pattern-based searching identifies the critical
+application, pins it at the inflection point, tunes the co-runner, and
+does all of that with far fewer samples than the exhaustive 64.
+"""
+
+import pytest
+
+from repro.config import TLP_LEVELS
+from repro.core.pbs import PROBE_LEVELS, SearchLog, pbs_search
+
+
+def drive(search, surface_fn):
+    """Run a search generator against a surface function combo -> ebs."""
+    try:
+        combo = next(search)
+        while True:
+            combo = search.send(surface_fn(combo))
+    except StopIteration as stop:
+        return stop.value
+
+
+def cliff_surface(critical_app: int, cliff_level: int):
+    """App ``critical_app`` has a sharp EB-WS cliff past ``cliff_level``;
+    the other app's EB grows gently and saturates.  The inflection point
+    is independent of the co-runner's TLP (the paper's 'pattern')."""
+
+    def ebs(combo):
+        out = {}
+        for app, tlp in enumerate(combo):
+            if app == critical_app:
+                out[app] = 1.0 if tlp <= cliff_level else 0.1
+            else:
+                out[app] = min(tlp, 8) / 8 * 0.5
+        return out
+
+    return ebs
+
+
+class TestPBSWS:
+    @pytest.mark.parametrize("critical", [0, 1])
+    @pytest.mark.parametrize("cliff", [2, 4, 8])
+    def test_finds_critical_app_and_inflection(self, critical, cliff):
+        log = SearchLog()
+        final = drive(
+            pbs_search("ws", 2, log=log), cliff_surface(critical, cliff)
+        )
+        assert log.critical_app == critical
+        assert log.fixed_level == cliff
+        assert final[critical] == cliff
+
+    def test_tunes_noncritical_to_saturation(self):
+        final = drive(pbs_search("ws", 2), cliff_surface(0, 4))
+        # Non-critical EB saturates at TLP 8; anything >= 8 is optimal.
+        assert final[1] >= 8
+
+    def test_far_fewer_samples_than_exhaustive(self):
+        log = SearchLog()
+        drive(pbs_search("ws", 2, log=log), cliff_surface(0, 4))
+        assert log.n_samples < 25, "PBS must beat the 64-combo sweep"
+
+    def test_monotone_increasing_surface_picks_top(self):
+        def ebs(combo):
+            return {a: tlp / 24 for a, tlp in enumerate(combo)}
+
+        final = drive(pbs_search("ws", 2), ebs)
+        assert final == (24, 24)
+
+    def test_final_is_best_visited(self):
+        """The chosen combination has the best objective among samples."""
+        log = SearchLog()
+        surface = cliff_surface(0, 4)
+        final = drive(pbs_search("ws", 2, log=log), surface)
+        best_seen = max(
+            log.samples, key=lambda item: item[1][0] + item[1][1]
+        )
+        assert sum(surface(final).values()) >= sum(best_seen[1].values()) - 1e-9
+
+
+class TestPBSFI:
+    def test_balances_scaled_ebs(self):
+        # App0's EB rises with its TLP; app1's is constant.  Balance
+        # (scaled 1:1) happens where eb0 == eb1, i.e. exactly at TLP 6;
+        # the refinement pass finds it even though 6 is never probed.
+        def ebs(combo):
+            return {0: combo[0] / 24, 1: 0.25}
+
+        final = drive(pbs_search("fi", 2), ebs)
+        assert final[0] == 6
+
+    def test_scaling_factors_shift_the_balance_point(self):
+        def ebs(combo):
+            return {0: combo[0] / 24, 1: 0.25}
+
+        final = drive(pbs_search("fi", 2, scale=[2.0, 1.0]), ebs)
+        # balance now at eb0/2 == 0.25 -> eb0 = 0.5 -> exactly TLP 12,
+        # which the refinement pass locates on the full lattice.
+        assert final[0] == 12
+
+    def test_critical_is_the_app_that_moves_balance(self):
+        log = SearchLog()
+
+        def ebs(combo):
+            return {0: combo[0] / 24, 1: 0.25}
+
+        drive(pbs_search("fi", 2, log=log), ebs)
+        assert log.critical_app == 0
+
+
+class TestPBSHS:
+    def test_harmonic_objective_prefers_balance(self):
+        def ebs(combo):
+            # Total is constant but balance varies: HS should find the
+            # most balanced combination among those visited.
+            share = combo[0] / (combo[0] + combo[1])
+            return {0: share, 1: 1 - share}
+
+        final = drive(pbs_search("hs", 2), ebs)
+        assert final[0] == final[1], "equal TLP maximizes the harmonic mean"
+
+
+class TestSearchMechanics:
+    def test_memoization_no_duplicate_samples(self):
+        seen = []
+
+        def ebs(combo):
+            seen.append(combo)
+            return {a: 0.5 for a in range(2)}
+
+        drive(pbs_search("ws", 2), ebs)
+        assert len(seen) == len(set(seen)), "no combination sampled twice"
+
+    def test_probe_keeps_corunner_at_max(self):
+        seen = []
+
+        def ebs(combo):
+            seen.append(combo)
+            return {a: 0.5 for a in range(2)}
+
+        drive(pbs_search("ws", 2), ebs)
+        probes = seen[: 2 * len(PROBE_LEVELS) - 1]
+        assert all(24 in c for c in probes), "Guideline 1: co-runner at maxTLP"
+
+    def test_rejects_bad_metric(self):
+        with pytest.raises(ValueError):
+            next(pbs_search("nope", 2))
+
+    def test_rejects_single_app(self):
+        with pytest.raises(ValueError):
+            next(pbs_search("ws", 1))
+
+    def test_three_apps_supported(self):
+        def ebs(combo):
+            return {a: 1.0 if tlp <= 4 else 0.2 for a, tlp in enumerate(combo)}
+
+        final = drive(pbs_search("ws", 3), ebs)
+        assert len(final) == 3
+        assert all(level in TLP_LEVELS for level in final)
+
+    def test_log_final_combo_matches_return(self):
+        log = SearchLog()
+        final = drive(pbs_search("ws", 2, log=log), cliff_surface(0, 4))
+        assert log.final_combo == final
+
+
+class TestSearchProperties:
+    """Property tests over random separable EB landscapes."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        peaks=st.tuples(st.sampled_from(TLP_LEVELS),
+                        st.sampled_from(TLP_LEVELS)),
+        widths=st.tuples(st.floats(2.0, 20.0), st.floats(2.0, 20.0)),
+        metric=st.sampled_from(["ws", "fi", "hs"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_search_always_terminates_on_lattice(self, peaks, widths, metric):
+        def ebs(combo):
+            # smooth unimodal per-app EB peaking at `peaks[a]`
+            return {
+                a: 0.1 + 1.0 / (1.0 + abs(combo[a] - peaks[a]) / widths[a])
+                for a in range(2)
+            }
+
+        log = SearchLog()
+        final = drive(pbs_search(metric, 2, log=log), ebs)
+        assert len(final) == 2
+        assert all(lv in TLP_LEVELS for lv in final)
+        assert log.final_combo == final
+        assert 0 < log.n_samples <= 40, "bounded sample budget"
+
+    @given(
+        peaks=st.tuples(st.sampled_from(TLP_LEVELS),
+                        st.sampled_from(TLP_LEVELS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ws_search_near_separable_optimum(self, peaks):
+        """On separable landscapes the refinement pass nails each peak."""
+
+        def ebs(combo):
+            return {
+                a: 1.0 / (1.0 + abs(combo[a] - peaks[a]) / 4.0)
+                for a in range(2)
+            }
+
+        final = drive(pbs_search("ws", 2), ebs)
+        achieved = sum(ebs(final).values())
+        optimum = sum(ebs(peaks).values())
+        assert achieved >= 0.98 * optimum
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_search_deterministic_given_surface(self, seed):
+        import itertools
+        import random as _random
+
+        rng = _random.Random(seed)
+        table = {
+            combo: {a: rng.uniform(0.05, 1.0) for a in range(2)}
+            for combo in itertools.product(TLP_LEVELS, repeat=2)
+        }
+        a = drive(pbs_search("ws", 2), lambda c: dict(table[c]))
+        b = drive(pbs_search("ws", 2), lambda c: dict(table[c]))
+        assert a == b

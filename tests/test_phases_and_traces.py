@@ -1,0 +1,141 @@
+"""Tests for phased workloads and trace record/replay."""
+
+import pytest
+
+from repro.config import small_config
+from repro.sim.address import AddressMap
+from repro.sim.engine import Simulator
+from repro.workloads.phases import PhasedProfile, PhasedStream
+from repro.workloads.table4 import app_by_abbr
+from repro.workloads.trace import Trace, TraceProfile, TraceStream, record_trace
+
+CFG = small_config()
+AMAP = AddressMap.from_config(CFG)
+
+
+def make_phased(iterations=5) -> PhasedProfile:
+    return PhasedProfile(
+        abbr="PHZ",
+        phases=(app_by_abbr("BLK"), app_by_abbr("BFS")),
+        iterations_per_phase=iterations,
+    )
+
+
+class TestPhasedProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedProfile("X", phases=())
+        with pytest.raises(ValueError):
+            PhasedProfile("X", phases=(app_by_abbr("BLK"),),
+                          iterations_per_phase=0)
+
+    def test_name(self):
+        assert make_phased().name == "phased(BLK -> BFS)"
+
+    def test_phase_rotation(self):
+        profile = make_phased(iterations=3)
+        cs = profile.make_core_stream(0, 0, AMAP)
+        stream = profile.make_stream(0, 0, 0, 1, AMAP, cs)
+        phases = []
+        for _ in range(9):
+            phases.append(stream.current_phase)
+            stream.next_request()
+        assert phases == [0, 0, 0, 1, 1, 1, 0, 0, 0]
+
+    def test_phases_have_distinct_behaviour(self):
+        profile = make_phased(iterations=50)
+        cs = profile.make_core_stream(0, 0, AMAP)
+        stream = profile.make_stream(0, 0, 0, 1, AMAP, cs)
+        blk_lines = [stream.next_request()[1] for _ in range(50)]
+        bfs_lines = [stream.next_request()[1] for _ in range(50)]
+        # BLK phase: single coalesced line; BFS phase: divergent multi-line.
+        assert all(len(ls) == 1 for ls in blk_lines)
+        assert any(len(ls) > 1 for ls in bfs_lines)
+
+    def test_runs_in_the_simulator(self):
+        sim = Simulator(CFG, [make_phased(iterations=20),
+                              app_by_abbr("TRD")], seed=3)
+        result = sim.run(6000, warmup=1000, initial_tlp={0: 8, 1: 8})
+        assert result.samples[0].insts > 0
+
+    def test_empty_stream_list_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedStream([], 5)
+
+
+class TestTraceRecording:
+    def test_record_shape(self):
+        trace = record_trace(app_by_abbr("BLK"), CFG, n_cores=1,
+                             requests_per_warp=10)
+        assert len(trace.warps) == CFG.max_warps_per_core
+        assert all(len(t) == 10 for t in trace.warps.values())
+        assert len(trace) == 10 * CFG.max_warps_per_core
+
+    def test_record_is_deterministic(self):
+        a = record_trace(app_by_abbr("BFS"), CFG, n_cores=1,
+                         requests_per_warp=8, seed=4)
+        b = record_trace(app_by_abbr("BFS"), CFG, n_cores=1,
+                         requests_per_warp=8, seed=4)
+        assert a.warps == b.warps
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError):
+            record_trace(app_by_abbr("BLK"), CFG, requests_per_warp=0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = record_trace(app_by_abbr("TRD"), CFG, n_cores=1,
+                             requests_per_warp=6)
+        path = tmp_path / "trd.trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.abbr == "TRD"
+        assert loaded.warps == trace.warps
+
+
+class TestTraceReplay:
+    def test_stream_replays_and_cycles(self):
+        requests = [(3, [0]), (4, [128, 256])]
+        stream = TraceStream(requests)
+        assert stream.next_request() == (3, [0])
+        assert stream.next_request() == (4, [128, 256])
+        assert stream.next_request() == (3, [0])  # cycled
+
+    def test_replay_does_not_alias_recorded_lists(self):
+        requests = [(3, [0])]
+        stream = TraceStream(requests)
+        out = stream.next_request()[1]
+        out.append(999)
+        assert stream.next_request() == (3, [0])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStream([])
+
+    def test_trace_profile_in_simulator(self):
+        trace = record_trace(app_by_abbr("BLK"), CFG, n_cores=1,
+                             requests_per_warp=64)
+        sim = Simulator(CFG, [TraceProfile(trace)], core_split=(1,), seed=3)
+        result = sim.run(6000, warmup=1000, initial_tlp={0: 8})
+        assert result.samples[0].insts > 0
+        assert result.samples[0].bw > 0
+
+    def test_trace_replay_matches_synthetic_statistics(self):
+        """Replaying a long recording approximates the live stream."""
+        profile = app_by_abbr("BLK")
+        trace = record_trace(profile, CFG, n_cores=1, requests_per_warp=512)
+
+        live = Simulator(CFG, [profile], core_split=(1,), seed=0)
+        live_result = live.run(8000, warmup=2000, initial_tlp={0: 8})
+        replay = Simulator(CFG, [TraceProfile(trace)], core_split=(1,), seed=0)
+        replay_result = replay.run(8000, warmup=2000, initial_tlp={0: 8})
+
+        assert replay_result.samples[0].bw == pytest.approx(
+            live_result.samples[0].bw, rel=0.3
+        )
+
+    def test_core_mapping_wraps(self):
+        trace = record_trace(app_by_abbr("BLK"), CFG, n_cores=1,
+                             requests_per_warp=4)
+        sim = Simulator(CFG, [TraceProfile(trace), app_by_abbr("TRD")], seed=3)
+        result = sim.run(3000, warmup=500, initial_tlp={0: 4, 1: 4})
+        assert result.samples[0].insts > 0

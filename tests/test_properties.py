@@ -1,0 +1,105 @@
+"""Hypothesis property tests over whole-simulation invariants.
+
+Each generated scenario runs a short two-application simulation on the
+tiny GPU with random TLP combinations and seeds, then checks the
+accounting identities that must hold for *any* execution.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_config
+from repro.metrics.bandwidth import eb_fi, eb_hs, eb_ws
+from repro.metrics.slowdown import fairness_index, harmonic_speedup, weighted_speedup
+from repro.sim.engine import Simulator
+from repro.workloads.table4 import app_by_abbr
+
+TLP = st.sampled_from((1, 2, 4, 8, 16, 24))
+APP = st.sampled_from(("BLK", "TRD", "BFS", "JPEG", "GUPS", "LUD"))
+
+SIM_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(a=APP, b=APP, tlp_a=TLP, tlp_b=TLP, seed=st.integers(0, 2**16))
+@SIM_SETTINGS
+def test_memory_hierarchy_accounting(a, b, tlp_a, tlp_b, seed):
+    cfg = small_config()
+    sim = Simulator(cfg, [app_by_abbr(a), app_by_abbr(b)], seed=seed)
+    result = sim.run(5000, warmup=1000, initial_tlp={0: tlp_a, 1: tlp_b})
+
+    for app in (0, 1):
+        s = sim.collector.apps[app]
+        # Monotone funnel: accesses >= misses at each level; traffic can
+        # only shrink as it flows down (MSHR merging removes duplicates).
+        assert 0 <= s.l1_misses <= s.l1_accesses
+        assert 0 <= s.l2_misses <= s.l2_accesses <= s.l1_misses
+        assert 0 <= s.dram_lines <= s.l2_misses
+        # Derived metrics are well-formed.
+        w = result.samples[app]
+        assert 0.0 <= w.l1_miss_rate <= 1.0
+        assert 0.0 <= w.l2_miss_rate <= 1.0
+        assert 0.0 <= w.cmr <= 1.0
+        assert w.bw >= 0.0
+        assert w.eb >= 0.0
+        assert w.ipc >= 0.0
+
+    # System-wide: DRAM traffic fits in the peak, utilization bounded.
+    assert sum(result.samples[x].bw for x in (0, 1)) <= 1.0 + 1e-9
+    assert 0.0 <= result.dram_utilization <= 1.0
+
+
+@given(a=APP, tlp=TLP, seed=st.integers(0, 2**16))
+@SIM_SETTINGS
+def test_no_warp_stuck(a, tlp, seed):
+    """Every active warp keeps iterating: no lost wakeups or deadlocks."""
+    cfg = small_config()
+    sim = Simulator(cfg, [app_by_abbr(a)], core_split=(1,), seed=seed)
+    sim.run(8000, warmup=1000, initial_tlp={0: tlp})
+    core = sim.cores[0]
+    active = [w for w in core.warps if w.active]
+    assert active, "at least one warp must be active"
+    assert all(w.iterations > 0 for w in active), (
+        "every active warp must have made progress"
+    )
+
+
+@given(
+    combos=st.lists(st.tuples(TLP, TLP), min_size=1, max_size=4),
+    seed=st.integers(0, 2**10),
+)
+@SIM_SETTINGS
+def test_mid_run_tlp_changes_never_corrupt_state(combos, seed):
+    """Arbitrary TLP retargeting sequences keep the machine consistent."""
+    cfg = small_config()
+    sim = Simulator(cfg, [app_by_abbr("BLK"), app_by_abbr("BFS")], seed=seed)
+    for i, (ta, tb) in enumerate(combos):
+        when = 500.0 * (i + 1)
+        sim.events.push(when, lambda t, x=ta, y=tb: (sim.set_tlp(0, x),
+                                                     sim.set_tlp(1, y)))
+    result = sim.run(500 * (len(combos) + 4), warmup=100)
+    last_combo = combos[-1]
+    assert result.final_tlp == {0: last_combo[0], 1: last_combo[1]}
+    for core in sim.cores:
+        assert sum(w.active for w in core.warps) == core.active_limit
+        for warp in core.warps:
+            assert warp.pending >= 0
+
+
+EBS = st.lists(st.floats(1e-3, 10.0), min_size=2, max_size=3)
+
+
+@given(ebs=EBS)
+@settings(max_examples=100)
+def test_metric_relationships(ebs):
+    """EB metric identities mirror the SD metric identities."""
+    assert eb_ws(ebs) >= max(ebs)
+    assert 0.0 < eb_fi(ebs) <= 1.0
+    assert min(ebs) * (1 - 1e-9) <= eb_hs(ebs) <= max(ebs) * (1 + 1e-9)
+    # Same relationships for the SD versions.
+    assert weighted_speedup(ebs) == eb_ws(ebs)
+    assert fairness_index(ebs) == eb_fi(ebs)
+    assert abs(harmonic_speedup(ebs) - eb_hs(ebs)) < 1e-12

@@ -1,0 +1,155 @@
+"""Tests for repro.core.runner: profiling and scheme evaluation."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.runner import (
+    ALL_SCHEMES,
+    AloneProfile,
+    RunLengths,
+    SchemeResult,
+    evaluate_scheme,
+    profile_alone,
+    profile_surface,
+    run_combo,
+)
+from repro.workloads.table4 import app_by_abbr
+
+CFG = small_config()
+LENGTHS = RunLengths.quick()
+APPS = [app_by_abbr("BLK"), app_by_abbr("TRD")]
+
+
+@pytest.fixture(scope="module")
+def alone():
+    return [
+        profile_alone(CFG, a, CFG.n_cores // 2, lengths=LENGTHS, seed=2)
+        for a in APPS
+    ]
+
+
+@pytest.fixture(scope="module")
+def surface():
+    return profile_surface(CFG, APPS, lengths=LENGTHS, seed=2)
+
+
+class TestProfileAlone:
+    def test_best_tlp_is_ipc_argmax(self, alone):
+        for profile in alone:
+            best_ipc = max(s.ipc for s in profile.sweep.values())
+            assert profile.ipc_alone == pytest.approx(best_ipc)
+            assert profile.sweep[profile.best_tlp].ipc == pytest.approx(best_ipc)
+
+    def test_sweep_covers_all_levels(self, alone):
+        assert set(alone[0].sweep) == set(CFG.tlp_levels)
+
+    def test_alone_eb_consistent_with_sweep(self, alone):
+        p = alone[0]
+        assert p.eb_alone == pytest.approx(p.sweep[p.best_tlp].eb)
+        assert p.bw_alone == p.sweep[p.best_tlp].bw
+        assert p.cmr_alone == p.sweep[p.best_tlp].cmr
+
+
+class TestSurface:
+    def test_covers_all_64_combos(self, surface):
+        assert len(surface) == 64
+
+    def test_contention_visible(self, surface):
+        """Raising the co-runner's TLP must hurt the other app somewhere."""
+        lonely = surface[(8, 1)].samples[0].eb
+        crowded = surface[(8, 24)].samples[0].eb
+        assert crowded < lonely
+
+
+class TestRunCombo:
+    def test_applies_combo(self):
+        result = run_combo(CFG, APPS, (2, 8), 4000, 1000, seed=2)
+        assert result.final_tlp == {0: 2, 1: 8}
+
+    def test_core_split_respected(self):
+        result = run_combo(
+            CFG, APPS, (8, 8), 4000, 1000, seed=2, core_split=(1, 1)
+        )
+        assert result.samples[0].insts > 0
+
+
+class TestEvaluateScheme:
+    def test_rejects_unknown_scheme(self, alone):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            evaluate_scheme(CFG, APPS, "wat", alone, lengths=LENGTHS)
+
+    def test_besttlp_uses_alone_profiles(self, alone, surface):
+        r = evaluate_scheme(CFG, APPS, "besttlp", alone, surface,
+                            lengths=LENGTHS, seed=2)
+        assert r.combo == (alone[0].best_tlp, alone[1].best_tlp)
+
+    def test_maxtlp(self, alone, surface):
+        r = evaluate_scheme(CFG, APPS, "maxtlp", alone, surface,
+                            lengths=LENGTHS, seed=2)
+        assert r.combo == (24, 24)
+
+    def test_metrics_consistent(self, alone, surface):
+        r = evaluate_scheme(CFG, APPS, "besttlp", alone, surface,
+                            lengths=LENGTHS, seed=2)
+        assert r.ws == pytest.approx(sum(r.sds))
+        assert r.fi == pytest.approx(min(r.sds) / max(r.sds))
+        assert len(r.ebs) == len(r.ipcs) == 2
+        assert r.workload == "BLK_TRD"
+
+    def test_static_scheme_reuses_surface_simulation(self, alone, surface):
+        r = evaluate_scheme(CFG, APPS, "opt-ws", alone, surface,
+                            lengths=LENGTHS, seed=2)
+        assert r.result is surface[r.combo]
+
+    def test_oracle_beats_or_matches_besttlp(self, alone, surface):
+        base = evaluate_scheme(CFG, APPS, "besttlp", alone, surface,
+                               lengths=LENGTHS, seed=2)
+        opt = evaluate_scheme(CFG, APPS, "opt-ws", alone, surface,
+                              lengths=LENGTHS, seed=2)
+        assert opt.ws >= base.ws - 1e-9, (
+            "optWS is an exhaustive search over a space containing the "
+            "bestTLP combination"
+        )
+
+    def test_oracle_fi_beats_or_matches_besttlp(self, alone, surface):
+        base = evaluate_scheme(CFG, APPS, "besttlp", alone, surface,
+                               lengths=LENGTHS, seed=2)
+        opt = evaluate_scheme(CFG, APPS, "opt-fi", alone, surface,
+                              lengths=LENGTHS, seed=2)
+        assert opt.fi >= base.fi - 1e-9
+
+    def test_surface_required_for_search_schemes(self, alone):
+        with pytest.raises(ValueError, match="needs a profiled surface"):
+            evaluate_scheme(CFG, APPS, "bf-ws", alone, surface=None,
+                            lengths=LENGTHS)
+
+    @pytest.mark.parametrize("scheme", ["bf-ws", "bf-fi", "bf-hs",
+                                        "pbs-offline-ws", "pbs-offline-fi"])
+    def test_search_schemes_produce_lattice_combos(self, scheme, alone, surface):
+        r = evaluate_scheme(CFG, APPS, scheme, alone, surface,
+                            lengths=LENGTHS, seed=2)
+        assert r.combo is not None
+        assert all(lv in CFG.tlp_levels for lv in r.combo)
+
+    @pytest.mark.parametrize("scheme", ["dyncta", "modbypass"])
+    def test_dynamic_baselines_run(self, scheme, alone):
+        r = evaluate_scheme(CFG, APPS, scheme, alone, lengths=LENGTHS, seed=2)
+        assert r.ws > 0
+        assert r.combo is None
+
+    def test_online_pbs_reports_final_combo(self, alone):
+        r = evaluate_scheme(CFG, APPS, "pbs-ws", alone, lengths=LENGTHS, seed=2)
+        assert r.combo is not None
+
+    def test_all_schemes_list_is_complete(self):
+        assert len(ALL_SCHEMES) == 17
+
+
+class TestSchemeResult:
+    def test_from_result_computes_sds(self, alone, surface):
+        result = surface[(8, 8)]
+        r = SchemeResult.from_result("x", "BLK_TRD", (8, 8), result, alone)
+        for a in (0, 1):
+            assert r.sds[a] == pytest.approx(
+                result.samples[a].ipc / alone[a].ipc_alone
+            )

@@ -1,0 +1,68 @@
+"""Tests for the joint core-partition + TLP search extension."""
+
+import pytest
+
+from repro.config import small_config
+from repro.core.runner import RunLengths
+from repro.core.splitsearch import (
+    candidate_splits,
+    joint_split_search,
+    live_pbs_search,
+)
+from repro.workloads.table4 import app_by_abbr
+
+CFG = small_config().with_(n_cores=4)
+LENGTHS = RunLengths.quick()
+APPS = [app_by_abbr("BLK"), app_by_abbr("TRD")]
+
+
+class TestCandidateSplits:
+    def test_includes_equal_and_skewed(self):
+        splits = candidate_splits(8)
+        assert (4, 4) in splits
+        assert (2, 6) in splits
+        assert (6, 2) in splits
+
+    def test_all_splits_valid(self):
+        for n in (2, 4, 6, 8, 24):
+            for a, b in candidate_splits(n):
+                assert a >= 1 and b >= 1
+                assert a + b <= n
+
+    def test_rejects_three_apps(self):
+        with pytest.raises(ValueError):
+            candidate_splits(8, n_apps=3)
+
+
+class TestLivePBS:
+    def test_samples_fraction_of_surface(self):
+        combo, log = live_pbs_search(
+            CFG, APPS, lengths=LENGTHS, seed=3, core_split=(2, 2)
+        )
+        assert all(lv in CFG.tlp_levels for lv in combo)
+        assert 0 < log.n_samples < 40
+
+    def test_deterministic(self):
+        a, _ = live_pbs_search(CFG, APPS, lengths=LENGTHS, seed=3,
+                               core_split=(2, 2))
+        b, _ = live_pbs_search(CFG, APPS, lengths=LENGTHS, seed=3,
+                               core_split=(2, 2))
+        assert a == b
+
+
+class TestJointSearch:
+    def test_picks_best_candidate(self):
+        choice = joint_split_search(CFG, APPS, lengths=LENGTHS, seed=3)
+        assert choice.split in choice.candidates
+        assert choice.combo == choice.candidates[choice.split][0]
+        assert choice.value == max(v for _, v in choice.candidates.values())
+
+    def test_covers_all_candidate_splits(self):
+        choice = joint_split_search(CFG, APPS, lengths=LENGTHS, seed=3)
+        assert set(choice.candidates) == set(candidate_splits(CFG.n_cores))
+
+    def test_explicit_splits(self):
+        choice = joint_split_search(
+            CFG, APPS, lengths=LENGTHS, seed=3, splits=[(2, 2)]
+        )
+        assert choice.split == (2, 2)

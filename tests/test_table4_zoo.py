@@ -1,0 +1,92 @@
+"""Tests for repro.workloads.table4 and generator: the application zoo."""
+
+import pytest
+
+from repro.workloads.generator import (
+    EVALUATED_PAIRS,
+    REPRESENTATIVE_PAIRS,
+    all_pairs,
+    pair,
+    triple,
+    workload_name,
+)
+from repro.workloads.synthetic import AppProfile
+from repro.workloads.table4 import APPLICATIONS, app_by_abbr
+
+
+class TestZoo:
+    def test_twenty_six_applications(self):
+        assert len(APPLICATIONS) == 26
+
+    def test_abbreviations_unique(self):
+        abbrs = [a.abbr for a in APPLICATIONS]
+        assert len(set(abbrs)) == 26
+
+    def test_paper_names_present(self):
+        for abbr in ("LUD", "NW", "HISTO", "SAD", "QTC", "RED", "SCAN",
+                     "BLK", "FFT", "BFS", "DS", "LPS", "RAY", "LIB", "LUH",
+                     "SRAD", "CONS", "FWT", "BP", "CFD", "TRD", "HS", "SC",
+                     "SCP", "GUPS", "JPEG"):
+            assert app_by_abbr(abbr).abbr == abbr
+
+    def test_lookup_case_insensitive(self):
+        assert app_by_abbr("bfs") is app_by_abbr("BFS")
+
+    def test_unknown_abbreviation_raises(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            app_by_abbr("NOPE")
+
+    def test_all_profiles_valid(self):
+        # AppProfile validates in __post_init__; instantiation is the test,
+        # but double-check key invariants here.
+        for p in APPLICATIONS:
+            assert 0 < p.r_m <= 1
+            assert p.p_reuse + p.p_seq + p.shared_frac <= 1 + 1e-9
+            assert p.coalesce >= 1
+
+    def test_behavioural_diversity(self):
+        """The zoo must span streaming, cache-friendly and divergent apps."""
+        streaming = [p for p in APPLICATIONS if p.p_seq > 0.9 and p.p_reuse < 0.1]
+        cache_friendly = [p for p in APPLICATIONS if p.p_reuse >= 0.3]
+        divergent = [p for p in APPLICATIONS if p.divergent]
+        assert len(streaming) >= 3
+        assert len(cache_friendly) >= 5
+        assert len(divergent) >= 3
+
+    def test_blk_is_the_canonical_cache_insensitive_app(self):
+        blk = app_by_abbr("BLK")
+        assert blk.p_reuse == 0.0
+        assert blk.p_seq > 0.95
+
+
+class TestWorkloads:
+    def test_ten_representative_pairs(self):
+        assert len(REPRESENTATIVE_PAIRS) == 10
+        assert ("BFS", "FFT") in REPRESENTATIVE_PAIRS
+        assert ("BLK", "TRD") in REPRESENTATIVE_PAIRS
+
+    def test_twenty_five_evaluated_pairs(self):
+        assert len(EVALUATED_PAIRS) == 25
+        assert len(set(EVALUATED_PAIRS)) == 25
+
+    def test_evaluated_pairs_resolve(self):
+        for a, b in EVALUATED_PAIRS:
+            apps = pair(a, b)
+            assert all(isinstance(p, AppProfile) for p in apps)
+
+    def test_evaluated_spans_sixteen_apps(self):
+        spanned = {abbr for p in EVALUATED_PAIRS for abbr in p}
+        assert len(spanned) == 16  # as in the paper's evaluated set
+
+    def test_workload_name(self):
+        assert workload_name(("BFS", "FFT")) == "BFS_FFT"
+        assert workload_name(pair("BFS", "FFT")) == "BFS_FFT"
+
+    def test_triple(self):
+        apps = triple("BFS", "FFT", "BLK")
+        assert [a.abbr for a in apps] == ["BFS", "FFT", "BLK"]
+
+    def test_all_pairs_counts(self):
+        pairs = all_pairs()
+        assert len(pairs) == 26 * 25 // 2
+        assert all(a.abbr != b.abbr for a, b in pairs)

@@ -1,0 +1,59 @@
+"""Tests for repro.core.tlp: the TLP lattice."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TLP_LEVELS
+from repro.core.tlp import all_combos, clamp_level, level_down, level_index, level_up
+
+
+class TestLattice:
+    def test_level_index(self):
+        assert level_index(1) == 0
+        assert level_index(24) == len(TLP_LEVELS) - 1
+
+    def test_level_index_rejects_off_lattice(self):
+        with pytest.raises(ValueError):
+            level_index(5)
+
+    def test_up_and_down(self):
+        assert level_up(4) == 6
+        assert level_down(4) == 2
+
+    def test_saturation(self):
+        assert level_up(24) == 24
+        assert level_down(1) == 1
+
+    def test_clamp_snaps_to_nearest(self):
+        assert clamp_level(5) == 4  # ties break toward the lower level
+        assert clamp_level(7) == 6
+        assert clamp_level(100) == 24
+        assert clamp_level(0) == 1
+        assert clamp_level(-3) == 1
+
+    @given(st.integers(-10, 100))
+    @settings(max_examples=100)
+    def test_clamp_always_on_lattice(self, tlp):
+        assert clamp_level(tlp) in TLP_LEVELS
+
+    @given(st.sampled_from(TLP_LEVELS))
+    def test_up_down_are_adjacent(self, level):
+        assert level_down(level_up(level)) <= level <= level_up(level_down(level))
+
+
+class TestCombos:
+    def test_two_apps_is_64(self):
+        combos = list(all_combos(2))
+        assert len(combos) == 64
+        assert len(set(combos)) == 64
+
+    def test_three_apps_is_512(self):
+        assert sum(1 for _ in all_combos(3)) == 512
+
+    def test_rejects_zero_apps(self):
+        with pytest.raises(ValueError):
+            list(all_combos(0))
+
+    def test_custom_levels(self):
+        assert list(all_combos(1, levels=(2, 8))) == [(2,), (8,)]
