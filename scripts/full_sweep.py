@@ -20,7 +20,7 @@ def main():
         name = "_".join(pair_names)
         apps = ctx.pair_apps(*pair_names)
         t0 = time.time()
-        rows[name] = {s: ctx.scheme(apps, s) for s in SCHEMES}
+        rows[name] = ctx.schemes(apps, SCHEMES)
         r = rows[name]
         print(f"{name:10s} ({time.time()-t0:5.1f}s) "
               f"WS: base={r['besttlp'].ws:.2f} pbs={r['pbs-ws'].ws:.2f} "

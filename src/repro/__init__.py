@@ -46,12 +46,14 @@ from repro.core.runner import (
     AloneProfile,
     RunLengths,
     SchemeResult,
+    alone_from_sweep,
     evaluate_scheme,
     profile_alone,
     profile_surface,
     run_combo,
 )
 from repro.core.tlp import all_combos, clamp_level, level_down, level_up
+from repro.exec import JobError, SimJob, resolve_jobs, run_jobs, run_sim_job
 from repro.metrics.bandwidth import (
     alone_ratio,
     combined_miss_rate,
@@ -109,5 +111,8 @@ __all__ = [
     # runner
     "ALL_SCHEMES", "RunLengths", "AloneProfile", "SchemeResult",
     "profile_alone", "profile_surface", "run_combo", "evaluate_scheme",
+    "alone_from_sweep",
     "all_combos", "clamp_level", "level_up", "level_down",
+    # parallel execution
+    "JobError", "SimJob", "resolve_jobs", "run_jobs", "run_sim_job",
 ]

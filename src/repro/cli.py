@@ -18,8 +18,10 @@ Commands
 ``zoo``
     List the 26 applications and their memory-signature parameters.
 
-All commands accept ``--config {paper,medium,small}`` and ``--quick``
-(short test-scale runs).  Heavy products are cached under ``results/``.
+All commands accept ``--config {paper,medium,small}``, ``--quick``
+(short test-scale runs), ``--seed N`` and ``--jobs N`` (parallel
+simulation workers; default ``$REPRO_JOBS``, else all cores) — before
+or after the subcommand.  Heavy products are cached under ``results/``.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from collections.abc import Sequence
 
 from repro.config import GPUConfig, medium_config, paper_config, small_config
 from repro.core.runner import ALL_SCHEMES, RunLengths
+from repro.exec import resolve_jobs
 from repro.experiments.common import ExperimentContext
 from repro.experiments.report import render_table
 from repro.experiments.table4 import run_table4
@@ -44,27 +47,49 @@ _CONFIGS = {
 }
 
 
+def _add_common_options(parser: argparse.ArgumentParser, *, top: bool) -> None:
+    """Add the global options to ``parser``.
+
+    They are defined both on the top-level parser (with real defaults)
+    and on every subparser (with ``SUPPRESS`` defaults, so a flag given
+    before the subcommand is not clobbered), which lets users write
+    either ``repro --quick compare A B`` or ``repro compare A B --quick``.
+    """
+    d = (lambda v: v) if top else (lambda v: argparse.SUPPRESS)
+    parser.add_argument("--config", choices=sorted(_CONFIGS),
+                        default=d("medium"),
+                        help="GPU scale preset (default: medium)")
+    parser.add_argument("--quick", action="store_true", default=d(False),
+                        help="short test-scale simulations")
+    parser.add_argument("--seed", type=int, default=d(1),
+                        help="simulation seed")
+    parser.add_argument("--jobs", type=int, default=d(None), metavar="N",
+                        help="parallel simulation workers "
+                        "(default: $REPRO_JOBS, else all cores; 1 = serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Effective-bandwidth TLP management for multi-programmed "
         "GPUs (HPCA 2018 reproduction)",
     )
-    parser.add_argument("--config", choices=sorted(_CONFIGS), default="medium",
-                        help="GPU scale preset (default: medium)")
-    parser.add_argument("--quick", action="store_true",
-                        help="short test-scale simulations")
-    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    _add_common_options(parser, top=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_profile = sub.add_parser("profile", help="alone-profile applications")
+    def add_command(name: str, help_: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_)
+        _add_common_options(p, top=False)
+        return p
+
+    p_profile = add_command("profile", "alone-profile applications")
     p_profile.add_argument("apps", nargs="+", metavar="APP")
 
-    p_run = sub.add_parser("run", help="evaluate one scheme on a pair")
+    p_run = add_command("run", "evaluate one scheme on a pair")
     p_run.add_argument("apps", nargs=2, metavar="APP")
     p_run.add_argument("--scheme", default="pbs-ws", choices=ALL_SCHEMES)
 
-    p_compare = sub.add_parser("compare", help="compare schemes on a pair")
+    p_compare = add_command("compare", "compare schemes on a pair")
     p_compare.add_argument("apps", nargs=2, metavar="APP")
     p_compare.add_argument(
         "--schemes",
@@ -72,15 +97,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scheme names",
     )
 
-    sub.add_parser("table4", help="regenerate the Table IV characterization")
-    sub.add_parser("zoo", help="list the application zoo")
+    add_command("table4", "regenerate the Table IV characterization")
+    add_command("zoo", "list the application zoo")
     return parser
+
+
+def _print_progress(done: int, total: int, spec: object) -> None:
+    """Sweep-completion reporting: one updating line on a terminal."""
+    tag = getattr(spec, "tag", None)
+    label = " ".join(str(p) for p in tag) if tag else ""
+    end = "\n" if done == total else ""
+    print(f"\r  [{done}/{total}] {label:<40.40s}", end=end,
+          file=sys.stderr, flush=True)
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
     config: GPUConfig = _CONFIGS[args.config]()
     lengths = RunLengths.quick() if args.quick else RunLengths()
-    return ExperimentContext(config=config, lengths=lengths, seed=args.seed)
+    progress = _print_progress if sys.stderr.isatty() else None
+    # Resolve eagerly so a bad --jobs / $REPRO_JOBS fails before any
+    # simulation starts, with a clean error instead of a mid-sweep one.
+    n_jobs = resolve_jobs(args.jobs)
+    return ExperimentContext(config=config, lengths=lengths, seed=args.seed,
+                             n_jobs=n_jobs, progress=progress)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -131,10 +170,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown schemes: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    rows = []
-    for scheme in schemes:
-        r = ctx.scheme(apps, scheme)
-        rows.append((scheme, str(r.combo), r.ws, r.fi, r.hs))
+    results = ctx.schemes(apps, schemes)
+    rows = [
+        (scheme, str(r.combo), r.ws, r.fi, r.hs)
+        for scheme, r in results.items()
+    ]
     print(render_table(
         ("scheme", "combo", "WS", "FI", "HS"),
         rows,
@@ -176,6 +216,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except KeyError as exc:  # unknown application abbreviation
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # bad --jobs / $REPRO_JOBS value
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

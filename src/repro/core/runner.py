@@ -40,6 +40,8 @@ from repro.core.offline import (
 )
 from repro.core.pbs import PBSController
 from repro.core.tlp import all_combos
+from repro.exec.jobs import SimJob, run_sim_job
+from repro.exec.pool import ProgressFn, run_jobs
 from repro.metrics.slowdown import fairness_index, harmonic_speedup, weighted_speedup
 from repro.sim.engine import SimResult, Simulator
 from repro.sim.stats import WindowSample
@@ -52,6 +54,7 @@ __all__ = [
     "AloneProfile",
     "SchemeResult",
     "ALL_SCHEMES",
+    "alone_from_sweep",
     "profile_alone",
     "profile_surface",
     "run_combo",
@@ -155,9 +158,16 @@ class SchemeResult:
         result: SimResult,
         alone: list[AloneProfile],
     ) -> "SchemeResult":
-        sds = [
-            result.samples[a].ipc / alone[a].ipc_alone for a in range(len(alone))
-        ]
+        sds = []
+        for a, profile in enumerate(alone):
+            if profile.ipc_alone <= 0:
+                raise ValueError(
+                    f"alone profile of app {profile.abbr!r} (index {a}) has "
+                    f"ipc_alone == 0, so slowdowns under scheme {scheme!r} "
+                    f"on workload {workload!r} are undefined; re-profile "
+                    f"with longer runs or check the application's streams"
+                )
+            sds.append(result.samples[a].ipc / profile.ipc_alone)
         return cls(
             scheme=scheme,
             workload=workload,
@@ -172,6 +182,23 @@ class SchemeResult:
         )
 
 
+def alone_from_sweep(abbr: str, sweep: dict[int, WindowSample]) -> AloneProfile:
+    """Assemble an :class:`AloneProfile` from a per-level sweep.
+
+    bestTLP is the level with the highest alone IPC; ties break toward
+    the earliest level in the sweep's (insertion) order, so callers must
+    insert levels in ascending order for deterministic results.
+    """
+    best = max(sweep, key=lambda lv: sweep[lv].ipc)
+    return AloneProfile(
+        abbr=abbr,
+        best_tlp=best,
+        ipc_alone=sweep[best].ipc,
+        eb_alone=sweep[best].eb,
+        sweep=sweep,
+    )
+
+
 def profile_alone(
     config: GPUConfig,
     app: "AppProfile",
@@ -179,30 +206,33 @@ def profile_alone(
     lengths: RunLengths = RunLengths(),
     seed: int | None = None,
     levels: tuple[int, ...] = TLP_LEVELS,
+    n_jobs: int | None = None,
+    progress: ProgressFn | None = None,
 ) -> AloneProfile:
     """Find an application's bestTLP by sweeping it alone on ``n_cores``.
 
     This is the paper's baseline setup: the alone run uses the *same*
     set of cores the application gets in the shared configuration, and
-    bestTLP is the level with the highest alone IPC.
+    bestTLP is the level with the highest alone IPC.  The per-level runs
+    are independent and execute on ``n_jobs`` processes (see
+    :mod:`repro.exec`).
     """
-    sweep: dict[int, WindowSample] = {}
-    for level in levels:
-        sim = Simulator(config, [app], core_split=(n_cores,), seed=seed)
-        result = sim.run(
-            lengths.profile_cycles,
+    jobs = [
+        SimJob(
+            config=config,
+            apps=(app,),
+            combo=(level,),
+            cycles=lengths.profile_cycles,
             warmup=lengths.profile_warmup,
-            initial_tlp={0: level},
+            seed=seed,
+            core_split=(n_cores,),
+            tag=("alone", app.abbr, level),
         )
-        sweep[level] = result.samples[0]
-    best = max(sweep, key=lambda lv: sweep[lv].ipc)
-    return AloneProfile(
-        abbr=app.abbr,
-        best_tlp=best,
-        ipc_alone=sweep[best].ipc,
-        eb_alone=sweep[best].eb,
-        sweep=sweep,
-    )
+        for level in levels
+    ]
+    results = run_jobs(run_sim_job, jobs, n_jobs=n_jobs, progress=progress)
+    sweep = {level: result.samples[0] for level, result in zip(levels, results)}
+    return alone_from_sweep(app.abbr, sweep)
 
 
 def run_combo(
@@ -236,20 +266,33 @@ def profile_surface(
     seed: int | None = None,
     levels: tuple[int, ...] = TLP_LEVELS,
     core_split: tuple[int, ...] | None = None,
+    n_jobs: int | None = None,
+    progress: ProgressFn | None = None,
 ) -> dict[tuple[int, ...], SimResult]:
-    """Profile every TLP combination of the workload (64 for two apps)."""
-    surface: dict[tuple[int, ...], SimResult] = {}
-    for combo in all_combos(len(apps), levels):
-        surface[combo] = run_combo(
-            config,
-            apps,
-            combo,
-            lengths.profile_cycles,
-            lengths.profile_warmup,
+    """Profile every TLP combination of the workload (64 for two apps).
+
+    The combinations are independent simulations and execute on
+    ``n_jobs`` processes; the returned dict is keyed in lattice order
+    regardless of completion order, so parallel and serial sweeps are
+    identical.
+    """
+    name = "_".join(a.abbr for a in apps)
+    combos = list(all_combos(len(apps), levels))
+    jobs = [
+        SimJob(
+            config=config,
+            apps=tuple(apps),
+            combo=combo,
+            cycles=lengths.profile_cycles,
+            warmup=lengths.profile_warmup,
             seed=seed,
             core_split=core_split,
+            tag=("surface", name, combo),
         )
-    return surface
+        for combo in combos
+    ]
+    results = run_jobs(run_sim_job, jobs, n_jobs=n_jobs, progress=progress)
+    return dict(zip(combos, results))
 
 
 def _static_combo_for(

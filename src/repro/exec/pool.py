@@ -1,0 +1,125 @@
+"""The process-pool job runner.
+
+Every experiment in this reproduction is dominated by embarrassingly
+parallel simulation sweeps: a two-application surface is 64 independent
+runs, an alone profile is 8, and a scheme comparison is one run per
+(workload, scheme).  :func:`run_jobs` maps a picklable worker function
+over a list of picklable job specs with a ``ProcessPoolExecutor``,
+preserving the order of the input list in the returned results so
+parallel sweeps are bit-identical to serial ones.
+
+Worker-count resolution (:func:`resolve_jobs`):
+
+1. an explicit ``n_jobs`` argument (CLI ``--jobs``);
+2. the ``REPRO_JOBS`` environment variable;
+3. ``os.cpu_count()``.
+
+``n_jobs=1`` (or a single job) falls back to a plain in-process loop —
+no pool, no pickling — so unit tests and cache hits pay no overhead.
+A failing job aborts the batch and is re-raised as :class:`JobError`
+carrying the failing spec, with the original exception as its cause.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["JOBS_ENV_VAR", "JobError", "ProgressFn", "resolve_jobs", "run_jobs"]
+
+#: Environment variable consulted when no explicit ``n_jobs`` is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: ``progress(done, total, spec)`` is invoked after each job completes,
+#: in completion order; ``done`` counts completed jobs so a CLI can
+#: render "12/64".
+ProgressFn = Callable[[int, int, object], None]
+
+
+class JobError(RuntimeError):
+    """A job of a parallel batch failed.
+
+    The failing spec is embedded in the message (and kept on ``.spec``)
+    so a 64-combination sweep failure names the combination that died;
+    the worker's original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, spec: object, cause: BaseException) -> None:
+        super().__init__(
+            f"simulation job failed: {spec!r} "
+            f"({type(cause).__name__}: {cause})"
+        )
+        self.spec = spec
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Resolve the worker count: explicit > ``$REPRO_JOBS`` > cpu count."""
+    if n_jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR}={env!r} is not an integer"
+                ) from None
+        else:
+            n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
+def run_jobs(
+    worker: Callable[[S], R],
+    specs: Iterable[S],
+    n_jobs: int | None = None,
+    progress: ProgressFn | None = None,
+) -> list[R]:
+    """Map ``worker`` over ``specs``, returning results in spec order.
+
+    ``worker`` and every spec must be picklable (a module-level function
+    and frozen dataclasses / plain tuples).  Results come back in the
+    order of ``specs`` regardless of completion order, so callers can
+    ``zip`` them against the spec list.
+    """
+    specs = list(specs)
+    total = len(specs)
+    if total == 0:
+        return []
+    n_jobs = resolve_jobs(n_jobs)
+
+    if n_jobs == 1 or total == 1:
+        results: list[R] = []
+        for done, spec in enumerate(specs, start=1):
+            try:
+                results.append(worker(spec))
+            except Exception as exc:
+                raise JobError(spec, exc) from exc
+            if progress is not None:
+                progress(done, total, spec)
+        return results
+
+    slots: list[R | None] = [None] * total
+    with ProcessPoolExecutor(max_workers=min(n_jobs, total)) as pool:
+        futures = {pool.submit(worker, spec): i for i, spec in enumerate(specs)}
+        done = 0
+        try:
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    slots[i] = future.result()
+                except Exception as exc:
+                    raise JobError(specs[i], exc) from exc
+                done += 1
+                if progress is not None:
+                    progress(done, total, specs[i])
+        except BaseException:
+            # Abort the rest of the batch promptly on first failure.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return slots  # type: ignore[return-value]

@@ -11,6 +11,13 @@ Every experiment consumes three kinds of simulation products:
 All three are pure functions of (config, workload, run lengths, seed),
 so :class:`ResultStore` caches them as JSON under ``results/`` keyed by
 a fingerprint of those inputs.  Delete the directory to recompute.
+
+Simulation products are computed through :mod:`repro.exec`: a context's
+``n_jobs`` (default: ``$REPRO_JOBS``, else all cores) fans independent
+runs out over a process pool, and its ``progress`` callback reports
+sweep completion.  :class:`ResultStore` writes are atomic and use
+unique temp names, so concurrent workers — including several processes
+sharing one ``results/`` directory — never corrupt each other.
 """
 
 from __future__ import annotations
@@ -18,27 +25,40 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.config import GPUConfig
+from repro.config import GPUConfig, TLP_LEVELS
 from repro.core.runner import (
     AloneProfile,
     RunLengths,
     SchemeResult,
+    alone_from_sweep,
     evaluate_scheme,
-    profile_alone,
     profile_surface,
 )
+from repro.exec.jobs import SimJob, run_sim_job
+from repro.exec.pool import ProgressFn, run_jobs
 from repro.sim.engine import SimResult
 from repro.sim.stats import WindowSample
 from repro.workloads.synthetic import AppProfile
 from repro.workloads.table4 import app_by_abbr
 
 __all__ = ["ResultStore", "ExperimentContext", "DEFAULT_RESULTS_DIR",
-           "SCHEME_VERSIONS"]
+           "CACHE_FORMAT", "SCHEME_VERSIONS"]
 
 DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Serialization-format version, folded into every cache key.  Bump it
+#: whenever the JSON layout of a cached product changes so stale entries
+#: are recomputed rather than half-deserialized.
+#:
+#: v2: ``SimResult.windows`` round-trips (older entries dropped the
+#: window log, so cached scheme evaluations disagreed with fresh ones
+#: for window-log consumers such as the fig11 timeline experiments).
+CACHE_FORMAT = 2
 
 #: Algorithm-version salts folded into scheme cache keys.  Bump a
 #: family's version when its controller/search logic changes so stale
@@ -78,6 +98,10 @@ def _result_to_dict(result: SimResult) -> dict:
         "samples": {str(a): _sample_to_dict(s) for a, s in result.samples.items()},
         "cycles": result.cycles,
         "tlp_timeline": result.tlp_timeline,
+        "windows": [
+            [t, {str(a): _sample_to_dict(s) for a, s in samples.items()}]
+            for t, samples in result.windows
+        ],
         "final_tlp": {str(a): t for a, t in result.final_tlp.items()},
         "dram_utilization": result.dram_utilization,
     }
@@ -88,6 +112,10 @@ def _result_from_dict(data: dict) -> SimResult:
         samples={int(a): _sample_from_dict(s) for a, s in data["samples"].items()},
         cycles=data["cycles"],
         tlp_timeline=[tuple(t) for t in data["tlp_timeline"]],
+        windows=[
+            (t, {int(a): _sample_from_dict(s) for a, s in samples.items()})
+            for t, samples in data["windows"]
+        ],
         final_tlp={int(a): t for a, t in data["final_tlp"].items()},
         dram_utilization=data["dram_utilization"],
     )
@@ -99,7 +127,13 @@ def _fingerprint(*parts: object) -> str:
 
 
 class ResultStore:
-    """JSON-on-disk memoization of simulation products."""
+    """JSON-on-disk memoization of simulation products.
+
+    Safe for concurrent writers: each save streams into a uniquely named
+    temp file (pid + random suffix) and is published with an atomic
+    ``os.replace``, so two processes saving the same key race benignly —
+    readers see either complete version, never a torn file.
+    """
 
     def __init__(self, root: Path | str = DEFAULT_RESULTS_DIR) -> None:
         self.root = Path(root)
@@ -117,10 +151,15 @@ class ResultStore:
 
     def save(self, kind: str, key: str, data: dict) -> None:
         path = self._path(kind, key)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("w") as fh:
-            json.dump(data, fh)
-        tmp.replace(path)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        try:
+            with tmp.open("w") as fh:
+                json.dump(data, fh)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
 
 @dataclass
@@ -128,19 +167,27 @@ class ExperimentContext:
     """Configuration + cache for one experimental campaign.
 
     All experiment drivers take a context so tests can run them with a
-    tiny config and a temporary cache directory.
+    tiny config and a temporary cache directory.  ``n_jobs`` controls
+    the process pool used for simulation sweeps (``None`` resolves to
+    ``$REPRO_JOBS``, else all cores; ``1`` forces serial execution);
+    ``progress`` receives ``(done, total, job)`` as sweep jobs complete.
     """
 
     config: GPUConfig
     lengths: RunLengths = dataclasses.field(default_factory=RunLengths)
     seed: int = 1
     store: ResultStore = dataclasses.field(default_factory=ResultStore)
+    n_jobs: int | None = None
+    progress: ProgressFn | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     # --- keys ------------------------------------------------------------
 
     def _profile_key(self, *parts: object) -> str:
         """Key for profiling products: only profile lengths matter."""
         return _fingerprint(
+            CACHE_FORMAT,
             dataclasses.asdict(self.config),
             (self.lengths.profile_cycles, self.lengths.profile_warmup),
             self.seed,
@@ -149,33 +196,39 @@ class ExperimentContext:
 
     def _key(self, *parts: object) -> str:
         return _fingerprint(
+            CACHE_FORMAT,
             dataclasses.asdict(self.config),
             dataclasses.asdict(self.lengths),
             self.seed,
             *parts,
         )
 
+    def _worker_clone(self) -> "ExperimentContext":
+        """A picklable copy for pool workers: serial, no callbacks."""
+        return dataclasses.replace(self, n_jobs=1, progress=None)
+
     # --- alone profiles -----------------------------------------------------
 
-    def alone(self, app: AppProfile, n_cores: int | None = None) -> AloneProfile:
-        n_cores = n_cores if n_cores is not None else self.config.n_cores // 2
+    def _alone_key(self, app: AppProfile, n_cores: int) -> str:
         # The full profile repr is part of the key, so editing an
         # application's parameters invalidates its cached products.
-        key = self._profile_key("alone", repr(app), n_cores)
+        return self._profile_key("alone", repr(app), n_cores)
+
+    def _load_alone(self, key: str) -> AloneProfile | None:
         cached = self.store.load("alone", key)
-        if cached is not None:
-            return AloneProfile(
-                abbr=cached["abbr"],
-                best_tlp=cached["best_tlp"],
-                ipc_alone=cached["ipc_alone"],
-                eb_alone=cached["eb_alone"],
-                sweep={
-                    int(lv): _sample_from_dict(s) for lv, s in cached["sweep"].items()
-                },
-            )
-        profile = profile_alone(
-            self.config, app, n_cores, lengths=self.lengths, seed=self.seed
+        if cached is None:
+            return None
+        return AloneProfile(
+            abbr=cached["abbr"],
+            best_tlp=cached["best_tlp"],
+            ipc_alone=cached["ipc_alone"],
+            eb_alone=cached["eb_alone"],
+            sweep={
+                int(lv): _sample_from_dict(s) for lv, s in cached["sweep"].items()
+            },
         )
+
+    def _save_alone(self, key: str, profile: AloneProfile) -> None:
         self.store.save(
             "alone",
             key,
@@ -189,18 +242,70 @@ class ExperimentContext:
                 },
             },
         )
-        return profile
 
-    def alone_for(self, apps: list[AppProfile]) -> list[AloneProfile]:
-        n_cores = self.config.n_cores // len(apps)
-        return [self.alone(a, n_cores) for a in apps]
+    def _alone_jobs(self, app: AppProfile, n_cores: int) -> list[SimJob]:
+        return [
+            SimJob(
+                config=self.config,
+                apps=(app,),
+                combo=(level,),
+                cycles=self.lengths.profile_cycles,
+                warmup=self.lengths.profile_warmup,
+                seed=self.seed,
+                core_split=(n_cores,),
+                tag=("alone", app.abbr, level),
+            )
+            for level in TLP_LEVELS
+        ]
+
+    def alone(self, app: AppProfile, n_cores: int | None = None) -> AloneProfile:
+        n_cores = n_cores if n_cores is not None else self.config.n_cores // 2
+        return self.alone_for([app], n_cores=n_cores)[0]
+
+    def alone_for(
+        self, apps: list[AppProfile], n_cores: int | None = None
+    ) -> list[AloneProfile]:
+        """Alone-profile every application, sweeping all of them at once.
+
+        The uncached applications' per-level runs are flattened into one
+        job batch so a single pool pass covers e.g. the whole 26-app zoo
+        (208 independent simulations) instead of one 8-level sweep at a
+        time.
+        """
+        n_cores = n_cores if n_cores is not None else self.config.n_cores // len(apps)
+        keys = [self._alone_key(app, n_cores) for app in apps]
+        profiles: dict[int, AloneProfile] = {}
+        missing: list[int] = []
+        for i, key in enumerate(keys):
+            cached = self._load_alone(key)
+            if cached is not None:
+                profiles[i] = cached
+            else:
+                missing.append(i)
+        if missing:
+            jobs = [
+                job for i in missing for job in self._alone_jobs(apps[i], n_cores)
+            ]
+            results = run_jobs(
+                run_sim_job, jobs, n_jobs=self.n_jobs, progress=self.progress
+            )
+            n_levels = len(TLP_LEVELS)
+            for slot, i in enumerate(missing):
+                chunk = results[slot * n_levels : (slot + 1) * n_levels]
+                sweep = {
+                    level: result.samples[0]
+                    for level, result in zip(TLP_LEVELS, chunk)
+                }
+                profile = alone_from_sweep(apps[i].abbr, sweep)
+                self._save_alone(keys[i], profile)
+                profiles[i] = profile
+        return [profiles[i] for i in range(len(apps))]
 
     # --- surfaces ------------------------------------------------------------
 
     def surface(
         self, apps: list[AppProfile], core_split: tuple[int, ...] | None = None
     ) -> dict[tuple[int, ...], SimResult]:
-        name = "_".join(a.abbr for a in apps)
         key = self._profile_key("surface", tuple(repr(a) for a in apps), core_split)
         cached = self.store.load("surface", key)
         if cached is not None:
@@ -214,6 +319,8 @@ class ExperimentContext:
             lengths=self.lengths,
             seed=self.seed,
             core_split=core_split,
+            n_jobs=self.n_jobs,
+            progress=self.progress,
         )
         self.store.save(
             "surface",
@@ -224,6 +331,37 @@ class ExperimentContext:
 
     # --- scheme evaluations ----------------------------------------------------
 
+    def _scheme_key(
+        self,
+        apps: list[AppProfile],
+        scheme: str,
+        core_split: tuple[int, ...] | None,
+    ) -> str:
+        version = _scheme_version(scheme)
+        # Version 1 keys keep the historical format so existing cached
+        # evaluations of unchanged scheme families remain valid.
+        parts = ("scheme", tuple(repr(a) for a in apps), scheme)
+        if version != 1:
+            parts += (f"v{version}",)
+        return self._key(*parts, core_split)
+
+    def _load_scheme(self, key: str) -> SchemeResult | None:
+        cached = self.store.load("scheme", key)
+        if cached is None:
+            return None
+        return SchemeResult(
+            scheme=cached["scheme"],
+            workload=cached["workload"],
+            combo=tuple(cached["combo"]) if cached["combo"] else None,
+            sds=cached["sds"],
+            ws=cached["ws"],
+            fi=cached["fi"],
+            hs=cached["hs"],
+            ebs=cached["ebs"],
+            ipcs=cached["ipcs"],
+            result=_result_from_dict(cached["result"]),
+        )
+
     def scheme(
         self,
         apps: list[AppProfile],
@@ -231,28 +369,11 @@ class ExperimentContext:
         core_split: tuple[int, ...] | None = None,
     ) -> SchemeResult:
         name = "_".join(a.abbr for a in apps)
-        version = _scheme_version(scheme)
-        # Version 1 keys keep the historical format so existing cached
-        # evaluations of unchanged scheme families remain valid.
-        parts = ("scheme", tuple(repr(a) for a in apps), scheme)
-        if version != 1:
-            parts += (f"v{version}",)
-        key = self._key(*parts, core_split)
-        cached = self.store.load("scheme", key)
-        alone = self.alone_for(apps)
+        key = self._scheme_key(apps, scheme, core_split)
+        cached = self._load_scheme(key)
         if cached is not None:
-            return SchemeResult(
-                scheme=cached["scheme"],
-                workload=cached["workload"],
-                combo=tuple(cached["combo"]) if cached["combo"] else None,
-                sds=cached["sds"],
-                ws=cached["ws"],
-                fi=cached["fi"],
-                hs=cached["hs"],
-                ebs=cached["ebs"],
-                ipcs=cached["ipcs"],
-                result=_result_from_dict(cached["result"]),
-            )
+            return cached
+        alone = self.alone_for(apps)
         needs_surface = scheme.startswith(("bf-", "opt-", "pbs-offline-"))
         surface = self.surface(apps, core_split) if needs_surface else None
         result = evaluate_scheme(
@@ -284,7 +405,75 @@ class ExperimentContext:
         )
         return result
 
+    def schemes(
+        self,
+        apps: list[AppProfile],
+        schemes: "list[str] | tuple[str, ...]",
+        core_split: tuple[int, ...] | None = None,
+    ) -> dict[str, SchemeResult]:
+        """Evaluate several schemes on one workload, in parallel.
+
+        The shared prerequisites (alone profiles; the surface, if any
+        scheme searches one) are computed first — themselves in parallel
+        across their runs — so the scheme-level workers all hit cache
+        for them.  Each uncached scheme then runs as one pool job that
+        writes its result into the (concurrent-safe) store.
+        """
+        schemes = list(schemes)
+        keys = {s: self._scheme_key(apps, s, core_split) for s in schemes}
+        results: dict[str, SchemeResult] = {}
+        missing: list[str] = []
+        for s in schemes:
+            cached = self._load_scheme(keys[s])
+            if cached is not None:
+                results[s] = cached
+            else:
+                missing.append(s)
+        if missing:
+            self.alone_for(apps)
+            if any(
+                s.startswith(("bf-", "opt-", "pbs-offline-")) for s in missing
+            ):
+                self.surface(apps, core_split)
+            tasks = [
+                _SchemeTask(
+                    ctx=self._worker_clone(),
+                    apps=tuple(apps),
+                    scheme=s,
+                    core_split=core_split,
+                )
+                for s in missing
+            ]
+            computed = run_jobs(
+                _run_scheme_task, tasks, n_jobs=self.n_jobs, progress=self.progress
+            )
+            results.update(zip(missing, computed))
+        return {s: results[s] for s in schemes}
+
     # --- convenience ------------------------------------------------------------
 
     def pair_apps(self, abbr_a: str, abbr_b: str) -> list[AppProfile]:
         return [app_by_abbr(abbr_a), app_by_abbr(abbr_b)]
+
+
+@dataclass(frozen=True)
+class _SchemeTask:
+    """One scheme evaluation as a picklable pool job."""
+
+    ctx: ExperimentContext
+    apps: tuple[AppProfile, ...]
+    scheme: str
+    core_split: tuple[int, ...] | None
+
+    @property
+    def tag(self) -> tuple:
+        return ("scheme", "_".join(a.abbr for a in self.apps), self.scheme)
+
+    def __repr__(self) -> str:
+        workload = "_".join(a.abbr for a in self.apps)
+        return f"_SchemeTask({self.scheme!r} on {workload})"
+
+
+def _run_scheme_task(task: _SchemeTask) -> SchemeResult:
+    """Pool worker: evaluate (and cache) one scheme in a subprocess."""
+    return task.ctx.scheme(list(task.apps), task.scheme, task.core_split)

@@ -40,7 +40,7 @@ class Fig1Result:
 
 def run_fig1(ctx: ExperimentContext, pair_names=("BFS", "FFT")) -> Fig1Result:
     apps = ctx.pair_apps(*pair_names)
-    results = {s: ctx.scheme(apps, s) for s in SCHEMES}
+    results = ctx.schemes(apps, SCHEMES)
     base = results["besttlp"]
     return Fig1Result(
         workload=base.workload,

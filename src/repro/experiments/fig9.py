@@ -76,7 +76,7 @@ def run_comparison(
     per_workload: dict[str, dict[str, float]] = {}
     for names in pairs:
         apps = ctx.pair_apps(*names)
-        results = {s: ctx.scheme(apps, s) for s in schemes}
+        results = ctx.schemes(apps, schemes)
         base_value = getattr(results["besttlp"], metric)
         per_workload["_".join(names)] = {
             s: getattr(r, metric) / max(base_value, 1e-12)

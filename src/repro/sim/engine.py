@@ -420,7 +420,16 @@ class Simulator:
         for app_id in range(len(self.apps)):
             self.set_tlp(app_id, initial_tlp.get(app_id, self.config.max_tlp))
 
-        self.events.push(float(warmup), lambda t: self.collector.start_measurement(t))
+        # Snapshot per-channel busy cycles at the start of measurement so
+        # dram_utilization, like every other reported metric, covers only
+        # the measured (post-warmup) region.
+        busy_at_measurement = [0.0] * len(self.channels)
+
+        def _begin_measurement(t: float) -> None:
+            self.collector.start_measurement(t)
+            busy_at_measurement[:] = [ch.busy_cycles for ch in self.channels]
+
+        self.events.push(float(warmup), _begin_measurement)
 
         if self.controller is not None:
             self.controller.start(self, 0.0)
@@ -429,15 +438,18 @@ class Simulator:
         self.events.run_until(float(max_cycles))
 
         samples = self.collector.measurement(float(max_cycles))
-        elapsed = float(max_cycles)
-        busy = sum(ch.busy_cycles for ch in self.channels)
+        measured = float(max_cycles) - warmup
+        busy = sum(
+            ch.busy_cycles - base
+            for ch, base in zip(self.channels, busy_at_measurement)
+        )
         return SimResult(
             samples=samples,
-            cycles=float(max_cycles) - warmup,
+            cycles=measured,
             tlp_timeline=list(self.tlp_timeline),
             windows=list(self.window_log),
             final_tlp=dict(self.current_tlp),
-            dram_utilization=busy / (elapsed * len(self.channels)),
+            dram_utilization=busy / (measured * len(self.channels)),
         )
 
     def _schedule_controller_window(self, when: float) -> None:

@@ -90,6 +90,44 @@ class TestCLIExtras:
         assert "Table IV" in out
         assert out.count("G") >= 26  # every row carries a group label
 
+    def test_jobs_flag_after_subcommand(self, capsys):
+        code = main(["--config", "small", "--quick",
+                     "compare", "BLK", "TRD", "--jobs", "2",
+                     "--schemes", "besttlp,maxtlp"])
+        assert code == 0
+        assert "besttlp" in capsys.readouterr().out
+
+    def test_jobs_parallel_matches_serial_output(self, capsys, tmp_path,
+                                                 monkeypatch):
+        """The same profile computed serially and on a pool renders
+        identically (separate stores, so both runs actually simulate)."""
+        import repro.experiments.common as common
+
+        def point_store_at(path):
+            path.mkdir(parents=True, exist_ok=True)
+            monkeypatch.setattr(
+                common.ResultStore, "__init__",
+                lambda self, root=path: setattr(self, "root", path),
+            )
+
+        point_store_at(tmp_path / "serial")
+        main(["--config", "small", "--quick", "--jobs", "1",
+              "profile", "BLK"])
+        serial = capsys.readouterr().out
+        point_store_at(tmp_path / "parallel")
+        main(["--config", "small", "--quick", "--jobs", "4",
+              "profile", "BLK"])
+        assert capsys.readouterr().out == serial
+
+    def test_invalid_jobs_value(self, capsys):
+        assert main(["--quick", "--jobs", "0", "profile", "BLK"]) == 2
+        assert "n_jobs" in capsys.readouterr().err
+
+    def test_invalid_jobs_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["--quick", "profile", "BLK"]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
     def test_seed_flag_changes_results(self, capsys):
         main(["--config", "small", "--quick", "--seed", "7",
               "run", "BLK", "TRD", "--scheme", "maxtlp"])
