@@ -1,6 +1,5 @@
 """Full evaluation sweep: all schemes on all 25 evaluated pairs."""
 import math
-import sys
 import time
 
 from repro import medium_config

@@ -6,7 +6,7 @@ Relies on the disk cache in results/; cold runs simulate everything.
 from pathlib import Path
 
 from repro import medium_config, paper_config
-from repro.experiments.common import ExperimentContext
+from repro.experiments.common import ExperimentContext, atomic_write_text
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -45,7 +45,7 @@ def main() -> None:
     ]
     for name, job in jobs:
         text = job()
-        (OUT / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(OUT / f"{name}.txt", text + "\n")
         print(f"=== {name} ===")
         print(text)
         print()

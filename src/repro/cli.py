@@ -18,7 +18,12 @@ Commands
 ``zoo``
     List the 26 applications and their memory-signature parameters.
 
-All commands accept ``--config {paper,medium,small}``, ``--quick``
+``lint [PATHS...]``
+    Run the repo's static invariant checker (:mod:`repro.devtools`)
+    over the tree: determinism, cache-schema drift, layering, and
+    friends.  See ``docs/devtools.md``.
+
+All simulation commands accept ``--config {paper,medium,small}``, ``--quick``
 (short test-scale runs), ``--seed N`` and ``--jobs N`` (parallel
 simulation workers; default ``$REPRO_JOBS``, else all cores) — before
 or after the subcommand.  Heavy products are cached under ``results/``.
@@ -32,6 +37,8 @@ from collections.abc import Sequence
 
 from repro.config import GPUConfig, medium_config, paper_config, small_config
 from repro.core.runner import ALL_SCHEMES, RunLengths
+from repro.devtools.linter import add_arguments as lint_add_arguments
+from repro.devtools.linter import run as lint_run
 from repro.exec import resolve_jobs
 from repro.experiments.common import ExperimentContext
 from repro.experiments.report import render_table
@@ -99,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_command("table4", "regenerate the Table IV characterization")
     add_command("zoo", "list the application zoo")
+
+    # lint has its own option set (no sim config/seed/jobs): it is the
+    # static-analysis pass over the tree, not a simulation command.
+    p_lint = sub.add_parser(
+        "lint", help="check repo invariants (determinism, cache schema, ...)"
+    )
+    lint_add_arguments(p_lint)
     return parser
 
 
@@ -208,6 +222,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "table4": _cmd_table4,
     "zoo": _cmd_zoo,
+    "lint": lint_run,
 }
 
 

@@ -1,0 +1,40 @@
+"""Developer tooling: the repo's own static-analysis pass.
+
+``repro.devtools`` hosts an AST-walking lint framework plus the
+repo-specific rules that guard the reproduction's headline guarantees:
+
+* **R001 determinism** — no unseeded global RNG, no wall-clock reads in
+  the simulator, no iteration over bare sets in sim hot paths;
+* **R002 float-equality** — no ``==``/``!=`` against float expressions
+  in library code;
+* **R003 cache-schema drift** — the serialized field sets of
+  ``SimResult``/``SchemeResult``/``WindowSample`` are fingerprinted and
+  pinned against ``CACHE_FORMAT``, so changing them without bumping the
+  version (the PR 1 ``windows`` bug) fails the lint;
+* **R004 layering** — experiments/metrics/scripts use the
+  ``repro.sim`` facade, never engine internals; the simulator never
+  imports the experiment layer;
+* **R005 picklability** — workers and specs handed to the
+  ``repro.exec`` pool are module-level and closure-free;
+* **R006 atomic-write** — nothing writes under ``results/`` except
+  through the atomic-replace helpers.
+
+Run it with ``python -m repro lint [paths...]`` or
+``python scripts/lint.py``; suppress a finding in place with a
+``# repro: noqa[R001]`` comment.  See ``docs/devtools.md`` for the rule
+catalog and how to add a rule.
+"""
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.linter import lint_paths, main
+from repro.devtools.registry import LintRule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "all_rules",
+    "register",
+    "lint_paths",
+    "main",
+]

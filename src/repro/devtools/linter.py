@@ -1,0 +1,258 @@
+"""The lint driver: file discovery, rule execution, reporting.
+
+``lint_paths`` is the library entry point (used by tests and the CLI);
+``main`` is the argv-level entry behind ``python -m repro lint`` and
+``scripts/lint.py``.  Exit codes: 0 clean, 1 error-severity findings,
+2 usage/parse problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.devtools.context import FileContext, ProjectContext
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import all_rules
+from repro.devtools.suppressions import filter_suppressed, line_suppressions
+
+__all__ = [
+    "lint_paths",
+    "add_arguments",
+    "build_parser",
+    "run",
+    "main",
+    "DEFAULT_PATHS",
+]
+
+#: What ``repro lint`` checks when no paths are given.
+DEFAULT_PATHS = ("src", "tests", "scripts")
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "results", "node_modules"})
+
+
+def find_root(start: Path) -> Path:
+    """Nearest ancestor holding ``pyproject.toml`` (else ``start``)."""
+    start = start.resolve()
+    base = start if start.is_dir() else start.parent
+    for candidate in (base, *base.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return base
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[Path] = set()
+    unique = []
+    for p in files:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            unique.append(p)
+    return unique
+
+
+def _parse_file(path: Path, root: Path) -> FileContext | Finding:
+    try:
+        relpath = path.resolve().relative_to(root)
+    except ValueError:
+        relpath = Path(path.name)
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return Finding(
+            rule="E999",
+            severity=Severity.ERROR,
+            path=str(relpath),
+            line=line,
+            col=(getattr(exc, "offset", None) or 1) - 1,
+            message=f"cannot parse: {exc.__class__.__name__}: {exc}",
+        )
+    return FileContext(path=path.resolve(), relpath=relpath, source=source, tree=tree)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    root: Path | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint ``paths`` (files or directories), returning sorted findings."""
+    path_objs = [Path(p) for p in paths]
+    if root is None:
+        root = find_root(path_objs[0] if path_objs else Path.cwd())
+    rules = all_rules(select)
+
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in iter_python_files(path_objs):
+        parsed = _parse_file(path, root)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            contexts.append(parsed)
+
+    suppressions = {
+        str(ctx.relpath): line_suppressions(ctx.lines) for ctx in contexts
+    }
+    for ctx in contexts:
+        for rule in rules:
+            if rule.scope != "file":
+                continue
+            findings.extend(
+                filter_suppressed(
+                    rule.check_file(ctx), suppressions[str(ctx.relpath)]
+                )
+            )
+
+    project = ProjectContext(root=root, files=contexts)
+    for rule in rules:
+        if rule.scope != "project":
+            continue
+        for finding in rule.check_project(project):
+            kept = filter_suppressed(
+                [finding], suppressions.get(finding.path, {})
+            )
+            findings.extend(kept)
+
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _render_text(findings: list[Finding], n_files: int) -> str:
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"checked {n_files} file(s): {errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: list[Finding], n_files: int) -> str:
+    return json.dumps(
+        {
+            "files_checked": n_files,
+            "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--update-cache-schema",
+        action="store_true",
+        help="re-pin the cached-result schema fingerprint (after a "
+        "deliberate CACHE_FORMAT bump) and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the repro tree "
+        "(determinism, cache-schema drift, layering, ...)",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a lint invocation from a parsed namespace."""
+    root = args.root.resolve() if args.root else None
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:<20s} [{rule.severity.value}] "
+                  f"{rule.rationale}")
+        return 0
+
+    if args.update_cache_schema:
+        from repro.devtools.rules.cache_schema import write_pin
+
+        try:
+            pin = write_pin(root or find_root(Path.cwd()))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"re-pinned cache schema at {pin}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [s.strip().upper() for s in args.select.split(",") if s.strip()]
+    try:
+        findings = lint_paths(args.paths, root=root, select=select)
+    except ValueError as exc:  # unknown --select ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    n_files = len(iter_python_files([Path(p) for p in args.paths]))
+    render = _render_json if args.format == "json" else _render_text
+    print(render(findings, n_files))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Repo-specific lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.devtools.registry`.  Add a rule by creating a module here
+that defines a :class:`~repro.devtools.registry.LintRule` subclass
+decorated with ``@register``, and importing it below.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
+    atomic_write,
+    cache_schema,
+    determinism,
+    floatcmp,
+    layering,
+    picklability,
+)
+
+__all__ = [
+    "determinism",
+    "floatcmp",
+    "cache_schema",
+    "layering",
+    "picklability",
+    "atomic_write",
+]

@@ -1,0 +1,168 @@
+"""R001: determinism — no ambient randomness or wall-clock in the sim.
+
+Byte-identical parallel/serial sweeps (PR 1's guarantee) require every
+source of nondeterminism to flow from the run's seed.  Three leak
+classes are banned:
+
+* calls through the *module-level* ``random`` / ``np.random`` state
+  anywhere in library code — each simulation object must own a seeded
+  ``random.Random`` (see ``repro.workloads.synthetic.stream_seed``);
+* wall-clock / entropy reads (``time.time``, ``os.urandom``,
+  ``uuid.uuid4``, ...) inside ``repro.sim`` and ``repro.core``, whose
+  outputs feed simulation state;
+* iterating a bare ``set`` display/constructor in ``repro.sim`` /
+  ``repro.core`` hot paths — set order is salted per process, so it
+  leaks process identity into event order (sort first, or use a dict).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import LintRule, register
+
+__all__ = ["DeterminismRule"]
+
+#: ``random`` module attributes that are legitimate to touch: the
+#: seeded-generator classes, not the hidden global instance.
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+#: numpy.random attributes allowed: explicit generator construction.
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+#: (module, attr) wall-clock / entropy reads banned in sim layers.
+_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("os", "urandom"),
+        ("os", "getrandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+        ("secrets", "token_bytes"),
+        ("secrets", "token_hex"),
+        ("secrets", "randbelow"),
+    }
+)
+
+#: layers whose outputs are simulation state: clock/set-order leaks here
+#: break run reproducibility, not just logging cosmetics.
+_SIM_LAYERS = ("repro.sim", "repro.core", "repro.workloads")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_display(node: ast.AST) -> bool:
+    """A set literal, ``set(...)`` call, or set comprehension."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+@register
+class DeterminismRule(LintRule):
+    id = "R001"
+    name = "determinism"
+    rationale = (
+        "all randomness flows from the run seed; no wall-clock or "
+        "set-order leaks into simulation state"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        # Library code only: tests may use ambient randomness to build
+        # fixtures, and scripts may time themselves with time.time().
+        if not ctx.in_package("repro"):
+            return
+        in_sim_layer = ctx.in_package(*_SIM_LAYERS)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, in_sim_layer)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_OK:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"'from random import {alias.name}' binds the "
+                            "module-level RNG; construct a seeded "
+                            "random.Random instead",
+                        )
+            elif in_sim_layer and isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_display(node.iter):
+                    yield self.finding(
+                        ctx,
+                        node.iter,
+                        "iterating a bare set: iteration order is "
+                        "process-salted; sort it (or use a dict) before "
+                        "it can reach simulation state",
+                    )
+            elif in_sim_layer and isinstance(node, ast.comprehension):
+                if _is_set_display(node.iter):
+                    yield self.finding(
+                        ctx,
+                        node.iter,
+                        "comprehension over a bare set: iteration order "
+                        "is process-salted; sort it first",
+                    )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, in_sim_layer: bool
+    ) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        # random.<fn>(...) through the hidden module-level generator.
+        if parts[0] == "random" and len(parts) == 2 and parts[1] not in _RANDOM_OK:
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded module-level RNG call '{dotted}()'; use a "
+                "random.Random seeded from the run seed",
+            )
+            return
+        # np.random.<fn> / numpy.random.<fn> global-state calls.
+        if (
+            len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _NP_RANDOM_OK
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"global numpy RNG call '{dotted}()'; use "
+                "np.random.default_rng(seed)",
+            )
+            return
+        # Wall-clock / entropy reads inside the simulation layers.
+        if in_sim_layer and len(parts) == 2 and tuple(parts) in _CLOCK_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"'{dotted}()' reads ambient time/entropy inside the "
+                "simulation layer; derive everything from the run seed "
+                "and simulated clock",
+            )

@@ -1,0 +1,56 @@
+"""In-source suppression comments: ``# repro: noqa[R001]``.
+
+A suppression applies to findings on its own line.  The bare form
+``# repro: noqa`` silences every rule on the line; the bracketed form
+``# repro: noqa[R001]`` (or ``[R001,R004]``) silences only the listed
+rules.  The distinct ``repro:`` prefix keeps these orthogonal to
+flake8/ruff ``# noqa`` comments, so suppressing one tool never
+accidentally silences the other.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.devtools.findings import Finding
+
+__all__ = ["ALL_RULES", "line_suppressions", "filter_suppressed"]
+
+#: Sentinel for "every rule suppressed on this line".
+ALL_RULES = "*"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+)
+
+
+def line_suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> suppressed rule ids (or ``{'*'}``)."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = frozenset((ALL_RULES,))
+        else:
+            ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+            out[lineno] = ids or frozenset((ALL_RULES,))
+    return out
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], suppressions: dict[int, frozenset[str]]
+) -> list[Finding]:
+    """Drop findings whose line carries a matching suppression."""
+    kept = []
+    for f in findings:
+        ids = suppressions.get(f.line)
+        if ids is not None and (ALL_RULES in ids or f.rule in ids):
+            continue
+        kept.append(f)
+    return kept

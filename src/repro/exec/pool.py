@@ -17,12 +17,16 @@ Worker-count resolution (:func:`resolve_jobs`):
 ``n_jobs=1`` (or a single job) falls back to a plain in-process loop —
 no pool, no pickling — so unit tests and cache hits pay no overhead.
 A failing job aborts the batch and is re-raised as :class:`JobError`
-carrying the failing spec, with the original exception as its cause.
+carrying the failing spec, the original exception as its cause, and
+the worker-side traceback text (which cannot cross the process
+boundary as an object) in ``args``.  ``KeyboardInterrupt`` is never
+wrapped: it cancels the outstanding futures and propagates as itself.
 """
 
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, TypeVar
 
@@ -45,15 +49,35 @@ class JobError(RuntimeError):
 
     The failing spec is embedded in the message (and kept on ``.spec``)
     so a 64-combination sweep failure names the combination that died;
-    the worker's original exception is chained as ``__cause__``.
+    the worker's original exception is chained as ``__cause__``.  The
+    worker-side traceback text is preserved as ``args[1]`` (and
+    ``.remote_traceback``): for pool jobs the original's traceback
+    objects do not cross the process boundary, so without this the
+    failing *worker* frame would be unrecoverable from the parent.
     """
 
     def __init__(self, spec: object, cause: BaseException) -> None:
+        remote = _traceback_text(cause)
         super().__init__(
             f"simulation job failed: {spec!r} "
-            f"({type(cause).__name__}: {cause})"
+            f"({type(cause).__name__}: {cause})",
+            remote,
         )
         self.spec = spec
+        self.remote_traceback = remote
+
+
+def _traceback_text(cause: BaseException) -> str:
+    """The worker-side traceback of ``cause``, as text.
+
+    ``concurrent.futures`` re-raises remote failures with the original
+    traceback rendered into a ``_RemoteTraceback`` chained as the
+    cause's ``__cause__``; ``format_exception`` follows that chain, so
+    one call covers both in-process and cross-process failures.
+    """
+    return "".join(
+        traceback.format_exception(type(cause), cause, cause.__traceback__)
+    ).rstrip()
 
 
 def resolve_jobs(n_jobs: int | None = None) -> int:
@@ -118,8 +142,14 @@ def run_jobs(
                 done += 1
                 if progress is not None:
                     progress(done, total, specs[i])
-        except BaseException:
-            # Abort the rest of the batch promptly on first failure.
+        except (Exception, KeyboardInterrupt):
+            # Abort the rest of the batch promptly on first failure or
+            # Ctrl-C.  Deliberately narrower than BaseException: a
+            # SystemExit/GeneratorExit unwinds through the context
+            # manager's own cleanup instead of an eager cancel, and
+            # KeyboardInterrupt is never wrapped in JobError — it
+            # propagates as itself so callers can tell "user stopped
+            # the sweep" from "a job died".
             pool.shutdown(wait=False, cancel_futures=True)
             raise
     return slots  # type: ignore[return-value]

@@ -41,13 +41,12 @@ from repro.core.runner import (
 )
 from repro.exec.jobs import SimJob, run_sim_job
 from repro.exec.pool import ProgressFn, run_jobs
-from repro.sim.engine import SimResult
-from repro.sim.stats import WindowSample
+from repro.sim import SimResult, WindowSample
 from repro.workloads.synthetic import AppProfile
 from repro.workloads.table4 import app_by_abbr
 
 __all__ = ["ResultStore", "ExperimentContext", "DEFAULT_RESULTS_DIR",
-           "CACHE_FORMAT", "SCHEME_VERSIONS"]
+           "CACHE_FORMAT", "SCHEME_VERSIONS", "atomic_write_text"]
 
 DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
 
@@ -126,6 +125,23 @@ def _fingerprint(*parts: object) -> str:
     return hashlib.md5(blob).hexdigest()[:16]
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path``.
+
+    The one sanctioned way to write a file under ``results/`` (lint rule
+    R006): the text streams into a uniquely named temp file in the same
+    directory (pid + random suffix, so concurrent writers never collide)
+    and is published with an atomic ``os.replace``.  Readers see either
+    a complete old version or a complete new one, never a torn file.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 class ResultStore:
     """JSON-on-disk memoization of simulation products.
 
@@ -150,16 +166,7 @@ class ResultStore:
             return json.load(fh)
 
     def save(self, kind: str, key: str, data: dict) -> None:
-        path = self._path(kind, key)
-        tmp = path.with_name(
-            f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
-        )
-        try:
-            with tmp.open("w") as fh:
-                json.dump(data, fh)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        atomic_write_text(self._path(kind, key), json.dumps(data))
 
 
 @dataclass

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentContext
 from repro.experiments.report import render_table
-from repro.sim.engine import Simulator
-from repro.sim.probes import (
+from repro.sim import (
     LatencyHistogram,
     OccupancyProbe,
     QueueDepthProbe,
+    Simulator,
     attach,
 )
 

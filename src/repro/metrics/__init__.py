@@ -1,6 +1,7 @@
 """System-throughput, fairness, and effective-bandwidth metrics (Table III)."""
 
 from repro.metrics.bandwidth import (
+    EPS,
     alone_ratio,
     combined_miss_rate,
     eb_fi,
@@ -18,6 +19,7 @@ from repro.metrics.slowdown import (
 )
 
 __all__ = [
+    "EPS",
     "slowdown",
     "weighted_speedup",
     "fairness_index",

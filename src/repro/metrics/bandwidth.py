@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 __all__ = [
+    "EPS",
     "combined_miss_rate",
     "effective_bandwidth",
     "eb_ws",
@@ -35,6 +36,17 @@ __all__ = [
     "eb_objective",
     "alone_ratio",
 ]
+
+#: Tolerance under which a bandwidth or combined miss rate is treated
+#: as zero in the EB definition (EB = attained BW / CMR).  Both inputs
+#: are ratios of event counts over an observation window (bytes over
+#: peak, misses over accesses), so legitimate non-zero values are
+#: bounded below by 1/window — orders of magnitude above ``EPS``.
+#: Anything smaller is float noise from the windowed division, and
+#: dividing by it would turn EB into a meaningless huge finite number
+#: instead of the defined limit cases (0 for no traffic, inf for a
+#: perfectly-filtering cache hierarchy).
+EPS = 1e-12
 
 
 def combined_miss_rate(l1_miss_rate: float, l2_miss_rate: float) -> float:
@@ -51,10 +63,10 @@ def effective_bandwidth(bw: float, cmr: float) -> float:
         raise ValueError("bandwidth cannot be negative")
     if not 0.0 <= cmr <= 1.0:
         raise ValueError(f"combined miss rate {cmr} outside [0, 1]")
-    if cmr == 0.0:
+    if cmr <= EPS:
         # Perfect caching: the cores see the cache bandwidth, not DRAM's.
-        # A zero CMR only occurs with zero DRAM traffic in practice.
-        return 0.0 if bw == 0.0 else float("inf")
+        # A (near-)zero CMR only occurs with zero DRAM traffic in practice.
+        return 0.0 if bw <= EPS else float("inf")
     return bw / cmr
 
 

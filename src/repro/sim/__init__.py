@@ -9,7 +9,7 @@ The paper's TLP-management mechanisms (``repro.core``) sit on top of it.
 from repro.sim.address import AddressMap
 from repro.sim.cache import CacheStats, MSHRTable, SetAssocCache
 from repro.sim.dram import DRAMChannel
-from repro.sim.engine import EventQueue, Simulator
+from repro.sim.engine import EventQueue, SimResult, Simulator
 from repro.sim.probes import (
     LatencyHistogram,
     OccupancyProbe,
@@ -26,6 +26,7 @@ __all__ = [
     "DRAMChannel",
     "EventQueue",
     "Simulator",
+    "SimResult",
     "AppStats",
     "StatsCollector",
     "WindowSample",

@@ -46,6 +46,10 @@ def _explode_on_three(x: int) -> int:
     return x
 
 
+def _raise_interrupt(x: int) -> int:
+    raise KeyboardInterrupt
+
+
 def _save_repeatedly(spec: tuple[str, str, int]) -> None:
     """Hammer one store key from a worker process."""
     root, payload_id, n = spec
@@ -95,6 +99,27 @@ class TestRunJobs:
             run_jobs(_explode_on_three, range(6), n_jobs=n_jobs)
         assert err.value.spec == 3
         assert isinstance(err.value.__cause__, RuntimeError)
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_error_preserves_worker_traceback(self, n_jobs):
+        """The worker-side frame survives in JobError.args.
+
+        For pool jobs the original traceback objects cannot cross the
+        process boundary, so the rendered text is the only way to see
+        *where* in the worker the job died.
+        """
+        with pytest.raises(JobError) as err:
+            run_jobs(_explode_on_three, range(6), n_jobs=n_jobs)
+        remote = err.value.remote_traceback
+        assert remote == err.value.args[1]
+        assert "RuntimeError: boom" in remote
+        # the failing worker function is named in the preserved frames
+        assert "_explode_on_three" in remote
+
+    def test_keyboard_interrupt_not_wrapped(self):
+        """Ctrl-C propagates as itself, never as a JobError."""
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(_raise_interrupt, range(3), n_jobs=1)
 
     def test_progress_counts_to_total(self):
         seen = []

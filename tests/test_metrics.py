@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics.bandwidth import (
+    EPS,
     alone_ratio,
     combined_miss_rate,
     eb_fi,
@@ -116,6 +117,23 @@ class TestEffectiveBandwidth:
 
     def test_perfect_cache_with_traffic_is_infinite(self):
         assert math.isinf(effective_bandwidth(0.1, 0.0))
+
+    def test_near_zero_cmr_is_treated_as_zero(self):
+        """Regression for the exact-zero guard (lint rule R002's seed).
+
+        A CMR below EPS is float noise from the windowed division, not
+        a real miss rate: dividing by it would manufacture a huge but
+        finite EB that poisons WS/FI/HS aggregation.  The EPS guard
+        must map it to the defined limit cases instead.
+        """
+        assert effective_bandwidth(0.0, EPS / 2) == 0.0
+        assert math.isinf(effective_bandwidth(0.2, EPS / 2))
+        # noise-level bandwidth with no miss traffic is "no traffic"
+        assert effective_bandwidth(EPS / 2, EPS / 2) == 0.0
+
+    def test_just_above_eps_divides_normally(self):
+        cmr = EPS * 10
+        assert effective_bandwidth(0.3, cmr) == pytest.approx(0.3 / cmr)
 
 
 class TestEBMetrics:
