@@ -23,26 +23,43 @@ Commands
     over the tree: determinism, cache-schema drift, layering, and
     friends.  See ``docs/devtools.md``.
 
+``trace summarize RUN``
+    Summarize a traced run (per-phase timings, per-app EB/BW/CMR
+    window timelines, the controller decision log).  ``RUN`` is a run
+    id under the trace directory, a run directory, or a trace file.
+    See ``docs/observability.md``.
+
 All simulation commands accept ``--config {paper,medium,small}``, ``--quick``
 (short test-scale runs), ``--seed N`` and ``--jobs N`` (parallel
 simulation workers; default ``$REPRO_JOBS``, else all cores) — before
 or after the subcommand.  Heavy products are cached under ``results/``.
+With ``--trace``, a run additionally writes a JSONL event trace, a
+Chrome/Perfetto export, and a provenance manifest under
+``results/traces/<run-id>/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.config import GPUConfig, medium_config, paper_config, small_config
 from repro.core.runner import ALL_SCHEMES, RunLengths
 from repro.devtools.linter import add_arguments as lint_add_arguments
 from repro.devtools.linter import run as lint_run
 from repro.exec import resolve_jobs
-from repro.experiments.common import ExperimentContext
+from repro.experiments.common import CACHE_FORMAT, ExperimentContext
 from repro.experiments.report import render_table
 from repro.experiments.table4 import run_table4
+from repro.obs.chrome import write_chrome_trace
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.summarize import summarize
+from repro.obs.trace import Tracer, tracing
 from repro.workloads.table4 import APPLICATIONS, app_by_abbr
 
 __all__ = ["main", "build_parser"]
@@ -52,6 +69,12 @@ _CONFIGS = {
     "medium": medium_config,
     "small": small_config,
 }
+
+#: Default home of traced runs; ``--trace-dir`` overrides it.
+DEFAULT_TRACE_DIR = "results/traces"
+
+#: Commands that run simulations (and therefore accept ``--trace``).
+_SIM_COMMANDS = ("profile", "run", "compare", "table4")
 
 
 def _add_common_options(parser: argparse.ArgumentParser, *, top: bool) -> None:
@@ -73,6 +96,13 @@ def _add_common_options(parser: argparse.ArgumentParser, *, top: bool) -> None:
     parser.add_argument("--jobs", type=int, default=d(None), metavar="N",
                         help="parallel simulation workers "
                         "(default: $REPRO_JOBS, else all cores; 1 = serial)")
+    parser.add_argument("--trace", action="store_true", default=d(False),
+                        help="record a structured trace of the run "
+                        "(JSONL + Perfetto export + manifest)")
+    parser.add_argument("--trace-dir", default=d(DEFAULT_TRACE_DIR),
+                        metavar="DIR",
+                        help=f"where traced runs are written "
+                        f"(default: {DEFAULT_TRACE_DIR})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,15 +143,42 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="check repo invariants (determinism, cache schema, ...)"
     )
     lint_add_arguments(p_lint)
+
+    # trace inspects finished runs; it runs no simulations either.
+    p_trace = sub.add_parser("trace", help="inspect traces of past runs")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="summarize one traced run"
+    )
+    p_summarize.add_argument(
+        "run", metavar="RUN",
+        help="run id under the trace directory, a run directory, "
+        "or a trace.jsonl path",
+    )
+    p_summarize.add_argument(
+        "--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+        help=f"where traced runs live (default: {DEFAULT_TRACE_DIR})",
+    )
     return parser
 
 
-def _print_progress(done: int, total: int, spec: object) -> None:
-    """Sweep-completion reporting: one updating line on a terminal."""
+def _print_progress(
+    done: int, total: int, spec: object, elapsed: float = 0.0
+) -> None:
+    """Sweep-completion reporting: one updating line on a terminal.
+
+    Writes carriage-return progress to *stderr* and only when stderr is
+    a terminal, so piped/redirected output never fills with ``\\r``
+    frames.  The fourth argument opts into the pool's per-job timing
+    (see :data:`repro.exec.ProgressFn`).
+    """
+    if not sys.stderr.isatty():
+        return
     tag = getattr(spec, "tag", None)
     label = " ".join(str(p) for p in tag) if tag else ""
+    timing = f" {elapsed:5.1f}s" if elapsed else ""
     end = "\n" if done == total else ""
-    print(f"\r  [{done}/{total}] {label:<40.40s}", end=end,
+    print(f"\r  [{done}/{total}] {label:<40.40s}{timing}", end=end,
           file=sys.stderr, flush=True)
 
 
@@ -216,6 +273,15 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    target: str | Path = args.run
+    candidate = Path(args.trace_dir) / args.run
+    if not Path(args.run).exists() and candidate.exists():
+        target = candidate
+    print(summarize(target))
+    return 0
+
+
 _COMMANDS = {
     "profile": _cmd_profile,
     "run": _cmd_run,
@@ -223,17 +289,73 @@ _COMMANDS = {
     "table4": _cmd_table4,
     "zoo": _cmd_zoo,
     "lint": lint_run,
+    "trace": _cmd_trace,
 }
 
 
+def _run_traced(args: argparse.Namespace, argv: list[str]) -> int:
+    """Run a simulation command with the tracer installed.
+
+    Produces ``<trace-dir>/<run-id>/`` holding the JSONL trace, its
+    Chrome/Perfetto export, and the provenance manifest.  The manifest
+    is written even when the command fails: a crashed run's partial
+    trace is exactly the one worth inspecting.
+    """
+    run_id = (
+        f"{args.command}-{time.strftime('%Y%m%d-%H%M%S')}-seed{args.seed}"
+    )
+    out_dir = Path(args.trace_dir) / run_id
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = RunManifest.start(
+        run_id=run_id,
+        command=args.command,
+        argv=argv,
+        config_name=args.config,
+        config_dict=dataclasses.asdict(_CONFIGS[args.config]()),
+        seed=args.seed,
+        quick=args.quick,
+        n_jobs=resolve_jobs(args.jobs),
+        cache_format=CACHE_FORMAT,
+        repo_root=Path(__file__).resolve().parents[2],
+    )
+    tracer = Tracer(run_id)
+    # A fresh metrics registry isolates this run's counters (cache
+    # hits/misses, timers) from anything else in the process.
+    previous_metrics = set_metrics(MetricsRegistry())
+    try:
+        with tracing(tracer):
+            code = _COMMANDS[args.command](args)
+    finally:
+        metrics_snapshot = get_metrics().snapshot()
+        set_metrics(previous_metrics)
+        trace_path = out_dir / "trace.jsonl"
+        chrome_path = out_dir / "trace.chrome.json"
+        tracer.write(trace_path)
+        write_chrome_trace(chrome_path, tracer.events, run_id)
+        manifest.finish(
+            phases=tracer.phase_totals(),
+            metrics=metrics_snapshot,
+            files=sorted(p.name for p in (trace_path, chrome_path)),
+        )
+        manifest.write(out_dir)
+        print(f"trace written to {out_dir}", file=sys.stderr)
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
     try:
+        if args.command in _SIM_COMMANDS and getattr(args, "trace", False):
+            return _run_traced(args, argv)
         return _COMMANDS[args.command](args)
     except KeyError as exc:  # unknown application abbreviation
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:  # bad --jobs / $REPRO_JOBS value
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:  # missing trace/run to summarize
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -81,4 +81,7 @@ class CCWSController(BaseController):
             if target != current:
                 self.tlp[app] = target
                 self.decisions.append((now, app, target))
+                self.note_decision(
+                    "tlp", now, app=app, tlp=target, signal=round(lost, 6)
+                )
                 self.actuate(sim, app, target)

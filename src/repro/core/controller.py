@@ -64,6 +64,18 @@ class BaseController:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.sample_period = sample_period
+        #: structured decision records, cycle-stamped and JSON-native so
+        #: they survive the result cache and the trace round-trip intact
+        self.decision_log: list[dict] = []
+
+    def note_decision(self, kind: str, now: float, **detail: object) -> None:
+        """Append one structured record to the controller's decision log.
+
+        ``detail`` values must be JSON-native (lists, not tuples) so
+        cached and freshly computed :class:`SchemeResult` objects
+        compare equal after a round-trip through the result store.
+        """
+        self.decision_log.append({"kind": kind, "cycle": now, **detail})
 
     def actuate(self, sim: "Simulator", app_id: int, tlp: int) -> None:
         """Apply a TLP change after the counter-relay latency."""

@@ -73,4 +73,8 @@ class DynCTAController(BaseController):
             if target != current:
                 self.tlp[app] = target
                 self.decisions.append((now, app, target))
+                self.note_decision(
+                    "tlp", now, app=app, tlp=target,
+                    signal=round(sample.avg_mem_latency, 3),
+                )
                 self.actuate(sim, app, target)

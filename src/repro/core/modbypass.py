@@ -105,4 +105,5 @@ class ModBypassController(DynCTAController):
             self.bypassed.discard(app)
         self._evidence[app] = 0
         self.bypass_events.append((now, app, bypass))
+        self.note_decision("bypass", now, app=app, bypass=bypass)
         sim.set_l2_bypass(app, bypass)

@@ -74,6 +74,11 @@ class SearchLog:
     critical_app: int | None = None
     fixed_level: int | None = None
     final_combo: tuple[int, ...] | None = None
+    #: structured decision records in search order (kinds: ``sample``,
+    #: ``criticality``, ``final``), JSON-native so they round-trip
+    #: through the result cache and the trace unchanged.  The online
+    #: controller stamps each record with the cycle it was taken at.
+    decisions: list[dict] = field(default_factory=list)
 
     @property
     def n_samples(self) -> int:
@@ -116,6 +121,14 @@ def pbs_search(
         ebs = yield combo
         memo[combo] = ebs
         log.samples.append((combo, ebs))
+        log.decisions.append(
+            {
+                "kind": "sample",
+                "combo": list(combo),
+                "objective": objective(ebs),
+                "ebs": [ebs[a] for a in range(n_apps)],
+            }
+        )
         return ebs
 
     # --- stage 1: probe each application with co-runners at maxTLP -----
@@ -149,6 +162,9 @@ def pbs_search(
     chosen: dict[int, int] = {critical: fix_level_of(sweeps[critical])}
     log.critical_app = critical
     log.fixed_level = chosen[critical]
+    log.decisions.append(
+        {"kind": "criticality", "app": critical, "level": chosen[critical]}
+    )
 
     # --- stage 3: tune the non-critical applications upward ----------------
     for app in order[1:]:
@@ -198,6 +214,9 @@ def pbs_search(
     if objective(memo[best]) > final_obj:
         final = best
     log.final_combo = final
+    log.decisions.append(
+        {"kind": "final", "combo": list(final), "n_samples": log.n_samples}
+    )
     return final
 
 
@@ -271,6 +290,7 @@ class PBSController(BaseController):
             list(scale) if isinstance(scale, (list, tuple)) else None
         )
         self._scale_pending: list[int] = []
+        self._stamped = 0  # log.decisions already copied to decision_log
         self._search: Sampler | None = None
         self._settled = False
         self._settled_obj: float | None = None
@@ -286,7 +306,7 @@ class PBSController(BaseController):
             self._scale_pending = list(range(self.n_apps))
             self._apply_scale_probe(sim, self._scale_pending[0])
         else:
-            self._begin_search(sim)
+            self._begin_search(sim, now)
         # Let caches warm before the first sample is trusted: cold-start
         # windows would mislead the criticality sweep.
         self._skip += self.warmup_windows
@@ -298,9 +318,21 @@ class PBSController(BaseController):
         self._skip = self.SETTLE_WINDOWS
         self._acc = []
 
-    def _begin_search(self, sim: "Simulator") -> None:
+    def _sync_search_log(self, now: float) -> None:
+        """Copy fresh search records to the decision log, cycle-stamped.
+
+        ``pbs_search`` is a pure generator with no notion of time; the
+        controller knows which window each record was produced in, so it
+        stamps the cycle on its way into the run-level decision log.
+        """
+        for record in self.log.decisions[self._stamped:]:
+            self.decision_log.append({**record, "cycle": now})
+        self._stamped = len(self.log.decisions)
+
+    def _begin_search(self, sim: "Simulator", now: float) -> None:
         self.search_count += 1
         self.log = SearchLog()
+        self._stamped = 0
         self._search = pbs_search(
             self.metric,
             self.n_apps,
@@ -358,10 +390,11 @@ class PBSController(BaseController):
             # Guard against a degenerate zero sample (e.g. an app that
             # produced no DRAM traffic in the window).
             self._scale[app] = max(ebs[app], 1e-6)
+            self.note_decision("scale", now, app=app, eb=self._scale[app])
             if self._scale_pending:
                 self._apply_scale_probe(sim, self._scale_pending[0])
             else:
-                self._begin_search(sim)
+                self._begin_search(sim, now)
             return
 
         if self._search is not None and not self._settled:
@@ -369,9 +402,15 @@ class PBSController(BaseController):
                 combo = self._search.send(ebs)
             except StopIteration as stop:
                 final: tuple[int, ...] = stop.value
+                self._sync_search_log(now)
+                self.note_decision(
+                    "settled", now,
+                    combo=list(final), n_samples=self.log.n_samples,
+                )
                 self._actuate_combo(sim, final)
                 self._settled = True
                 return
+            self._sync_search_log(now)
             self._actuate_combo(sim, combo)
             return
 
@@ -388,7 +427,10 @@ class PBSController(BaseController):
                 self._drift >= self.DRIFT_PATIENCE
                 and self.search_count <= self.MAX_RESEARCHES
             ):
-                self._begin_search(sim)
+                self.note_decision(
+                    "research", now, search=self.search_count + 1
+                )
+                self._begin_search(sim, now)
             return
         self._drift = 0
         # exponential moving average keeps the reference fresh

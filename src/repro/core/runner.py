@@ -43,6 +43,7 @@ from repro.core.tlp import all_combos
 from repro.exec.jobs import SimJob, run_sim_job
 from repro.exec.pool import ProgressFn, run_jobs
 from repro.metrics.slowdown import fairness_index, harmonic_speedup, weighted_speedup
+from repro.obs.trace import CLOCK_CYCLES, NullTracer, Tracer, get_tracer
 from repro.sim.engine import SimResult, Simulator
 from repro.sim.stats import WindowSample
 
@@ -55,6 +56,7 @@ __all__ = [
     "SchemeResult",
     "ALL_SCHEMES",
     "alone_from_sweep",
+    "emit_scheme_events",
     "profile_alone",
     "profile_surface",
     "run_combo",
@@ -148,6 +150,10 @@ class SchemeResult:
     ebs: list[float]
     ipcs: list[float]
     result: SimResult
+    #: the controller's structured decision log (empty for static
+    #: schemes): cycle-stamped, JSON-native dicts that survive the
+    #: result cache, so telemetry can be replayed from cached results
+    decisions: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_result(
@@ -157,6 +163,7 @@ class SchemeResult:
         combo: tuple[int, ...] | None,
         result: SimResult,
         alone: list[AloneProfile],
+        decisions: list[dict] | None = None,
     ) -> "SchemeResult":
         sds = []
         for a, profile in enumerate(alone):
@@ -179,6 +186,7 @@ class SchemeResult:
             ebs=[result.samples[a].eb for a in range(len(alone))],
             ipcs=[result.samples[a].ipc for a in range(len(alone))],
             result=result,
+            decisions=list(decisions) if decisions else [],
         )
 
 
@@ -383,17 +391,65 @@ def evaluate_scheme(
         # the surface: reuse it, which also makes the oracle exact.
         result = surface[combo]  # type: ignore[index]
     else:
-        result = run_combo(
-            config,
-            apps,
-            start,
-            cycles,
-            warmup,
-            seed=seed,
-            controller=controller,
-            core_split=core_split,
-        )
+        with get_tracer().span(
+            f"evaluate:{scheme}", cat="scheme", workload=name
+        ):
+            result = run_combo(
+                config,
+                apps,
+                start,
+                cycles,
+                warmup,
+                seed=seed,
+                controller=controller,
+                core_split=core_split,
+            )
     final_combo = combo
     if final_combo is None and isinstance(controller, PBSController):
         final_combo = controller.final_combo
-    return SchemeResult.from_result(scheme, name, final_combo, result, alone)
+    decisions = getattr(controller, "decision_log", None)
+    return SchemeResult.from_result(
+        scheme, name, final_combo, result, alone, decisions=decisions
+    )
+
+
+def emit_scheme_events(
+    result: SchemeResult, tracer: "Tracer | NullTracer | None" = None
+) -> None:
+    """Emit a scheme evaluation's sim-layer telemetry onto the tracer.
+
+    Emission happens *after* the run, from the persisted window log and
+    decision log, for two reasons: the simulator hot loop stays free of
+    tracing overhead, and the same telemetry is replayable from cached
+    results and from scheme evaluations computed in pool workers (whose
+    in-process tracer is the null one).
+
+    Counter events are named ``{workload}|{scheme}|app{N}`` with the
+    per-window EB/BW/CMR series; decision records become instants in
+    the ``pbs`` (online PBS) or ``ctrl`` (baseline) category.  All of
+    them are cycle-stamped.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    if not tracer.enabled:
+        return
+    for t, samples in result.result.windows:
+        for a in sorted(samples):
+            s = samples[a]
+            tracer.counter(
+                f"{result.workload}|{result.scheme}|app{a}",
+                {"eb": s.eb, "bw": s.bw, "cmr": s.cmr},
+                ts=t,
+                cat="window",
+            )
+    cat = "pbs" if result.scheme.startswith("pbs") else "ctrl"
+    for d in result.decisions:
+        detail = {k: v for k, v in d.items() if k not in ("kind", "cycle")}
+        tracer.instant(
+            f"{cat}.{d['kind']}",
+            cat=cat,
+            clock=CLOCK_CYCLES,
+            ts=d["cycle"],
+            workload=result.workload,
+            scheme=result.scheme,
+            **detail,
+        )

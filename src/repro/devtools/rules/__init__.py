@@ -12,6 +12,7 @@ from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
     determinism,
     floatcmp,
     layering,
+    noprint,
     picklability,
 )
 
@@ -22,4 +23,5 @@ __all__ = [
     "layering",
     "picklability",
     "atomic_write",
+    "noprint",
 ]

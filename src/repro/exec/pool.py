@@ -17,18 +17,32 @@ Worker-count resolution (:func:`resolve_jobs`):
 ``n_jobs=1`` (or a single job) falls back to a plain in-process loop —
 no pool, no pickling — so unit tests and cache hits pay no overhead.
 A failing job aborts the batch and is re-raised as :class:`JobError`
-carrying the failing spec, the original exception as its cause, and
-the worker-side traceback text (which cannot cross the process
-boundary as an object) in ``args``.  ``KeyboardInterrupt`` is never
-wrapped: it cancels the outstanding futures and propagates as itself.
+carrying the failing spec, the original exception as its cause, the
+job's duration up to the failure, and the worker-side traceback text
+(which cannot cross the process boundary as an object) in ``args``.
+``KeyboardInterrupt`` is never wrapped: it cancels the outstanding
+futures and propagates as itself.
+
+Telemetry: when the ambient tracer (:func:`repro.obs.get_tracer`) is
+enabled, every job is timed *inside* the worker process and recorded as
+a ``cat="job"`` span carrying the worker's pid and its queue wait (time
+between submission and the worker actually starting, i.e. time spent
+waiting for a pool slot).  Progress callbacks may opt into per-job
+timing by accepting a fourth argument: ``progress(done, total, spec,
+elapsed_s)``; three-argument callbacks keep working unchanged.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from functools import partial
 from typing import Callable, Iterable, TypeVar
+
+from repro.obs.trace import get_tracer
 
 __all__ = ["JOBS_ENV_VAR", "JobError", "ProgressFn", "resolve_jobs", "run_jobs"]
 
@@ -40,8 +54,9 @@ R = TypeVar("R")
 
 #: ``progress(done, total, spec)`` is invoked after each job completes,
 #: in completion order; ``done`` counts completed jobs so a CLI can
-#: render "12/64".
-ProgressFn = Callable[[int, int, object], None]
+#: render "12/64".  A callback that accepts a fourth positional
+#: argument additionally receives the job's elapsed seconds.
+ProgressFn = Callable[..., None]
 
 
 class JobError(RuntimeError):
@@ -49,21 +64,30 @@ class JobError(RuntimeError):
 
     The failing spec is embedded in the message (and kept on ``.spec``)
     so a 64-combination sweep failure names the combination that died;
-    the worker's original exception is chained as ``__cause__``.  The
-    worker-side traceback text is preserved as ``args[1]`` (and
-    ``.remote_traceback``): for pool jobs the original's traceback
-    objects do not cross the process boundary, so without this the
-    failing *worker* frame would be unrecoverable from the parent.
+    the worker's original exception is chained as ``__cause__`` and the
+    job's duration up to the failure is kept on ``.duration`` (seconds;
+    ``None`` when unknown).  The worker-side traceback text is preserved
+    as ``args[1]`` (and ``.remote_traceback``): for pool jobs the
+    original's traceback objects do not cross the process boundary, so
+    without this the failing *worker* frame would be unrecoverable from
+    the parent.
     """
 
-    def __init__(self, spec: object, cause: BaseException) -> None:
+    def __init__(
+        self,
+        spec: object,
+        cause: BaseException,
+        duration: float | None = None,
+    ) -> None:
         remote = _traceback_text(cause)
+        after = f" after {duration:.3f}s" if duration is not None else ""
         super().__init__(
-            f"simulation job failed: {spec!r} "
+            f"simulation job failed{after}: {spec!r} "
             f"({type(cause).__name__}: {cause})",
             remote,
         )
         self.spec = spec
+        self.duration = duration
         self.remote_traceback = remote
 
 
@@ -98,6 +122,65 @@ def resolve_jobs(n_jobs: int | None = None) -> int:
     return n_jobs
 
 
+def _accepts_elapsed(progress: ProgressFn) -> bool:
+    """Does the callback take a fourth (elapsed-seconds) argument?
+
+    Extending the hook is opt-in by arity so every existing
+    three-argument callback keeps working; inspection failures (builtins,
+    exotic callables) conservatively fall back to the legacy signature.
+    """
+    try:
+        sig = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind == inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 4
+
+
+def _job_name(spec: object) -> str:
+    """A short display name for a job's trace span."""
+    tag = getattr(spec, "tag", None)
+    if isinstance(tag, tuple) and tag:
+        return "job:" + "/".join(str(part) for part in tag)
+    return f"job:{type(spec).__name__}"
+
+
+def _timed_call(worker: Callable[[S], R], spec: S) -> tuple[R, float, int]:
+    """Pool worker wrapper: run the job and report its own wall time.
+
+    Returns ``(result, elapsed_seconds, worker_pid)`` so the parent can
+    separate compute time from queue wait and attribute the job to a
+    worker track in the trace.  Module-level so it pickles.
+    """
+    t0 = time.perf_counter()
+    value = worker(spec)
+    return value, time.perf_counter() - t0, os.getpid()
+
+
+def _notify(
+    progress: ProgressFn | None,
+    with_elapsed: bool,
+    done: int,
+    total: int,
+    spec: object,
+    elapsed: float,
+) -> None:
+    if progress is None:
+        return
+    if with_elapsed:
+        progress(done, total, spec, elapsed)
+    else:
+        progress(done, total, spec)
+
+
 def run_jobs(
     worker: Callable[[S], R],
     specs: Iterable[S],
@@ -116,32 +199,74 @@ def run_jobs(
     if total == 0:
         return []
     n_jobs = resolve_jobs(n_jobs)
+    tracer = get_tracer()
+    with_elapsed = progress is not None and _accepts_elapsed(progress)
 
     if n_jobs == 1 or total == 1:
         results: list[R] = []
         for done, spec in enumerate(specs, start=1):
+            t0 = time.perf_counter()
             try:
                 results.append(worker(spec))
             except Exception as exc:
-                raise JobError(spec, exc) from exc
-            if progress is not None:
-                progress(done, total, spec)
+                raise JobError(
+                    spec, exc, duration=time.perf_counter() - t0
+                ) from exc
+            elapsed = time.perf_counter() - t0
+            if tracer.enabled:
+                dur_us = elapsed * 1e6
+                tracer.complete(
+                    _job_name(spec),
+                    ts=tracer.now_us() - dur_us,
+                    dur=dur_us,
+                    cat="job",
+                    worker="main",
+                    queue_wait_s=0.0,
+                )
+            _notify(progress, with_elapsed, done, total, spec, elapsed)
         return results
+
+    # Worker-side timing is only worth the extra pickling when someone
+    # consumes it: an enabled tracer or an elapsed-aware callback.
+    timed = tracer.enabled or with_elapsed
+    call = partial(_timed_call, worker) if timed else worker
 
     slots: list[R | None] = [None] * total
     with ProcessPoolExecutor(max_workers=min(n_jobs, total)) as pool:
-        futures = {pool.submit(worker, spec): i for i, spec in enumerate(specs)}
+        submitted = time.perf_counter()
+        futures = {pool.submit(call, spec): i for i, spec in enumerate(specs)}
         done = 0
         try:
             for future in as_completed(futures):
                 i = futures[future]
                 try:
-                    slots[i] = future.result()
+                    value = future.result()
                 except Exception as exc:
-                    raise JobError(specs[i], exc) from exc
+                    raise JobError(
+                        specs[i], exc,
+                        duration=time.perf_counter() - submitted,
+                    ) from exc
+                if timed:
+                    value, elapsed, worker_pid = value  # type: ignore[misc]
+                    if tracer.enabled:
+                        wait = max(
+                            0.0,
+                            time.perf_counter() - submitted - elapsed,
+                        )
+                        dur_us = elapsed * 1e6
+                        tracer.complete(
+                            _job_name(specs[i]),
+                            ts=tracer.now_us() - dur_us,
+                            dur=dur_us,
+                            cat="job",
+                            worker=worker_pid,
+                            queue_wait_s=round(wait, 6),
+                        )
+                else:
+                    elapsed = time.perf_counter() - submitted
+                slots[i] = value  # type: ignore[assignment]
                 done += 1
-                if progress is not None:
-                    progress(done, total, specs[i])
+                _notify(progress, with_elapsed, done, total, specs[i], elapsed)
         except (Exception, KeyboardInterrupt):
             # Abort the rest of the batch promptly on first failure or
             # Ctrl-C.  Deliberately narrower than BaseException: a

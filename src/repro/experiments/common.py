@@ -25,8 +25,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -36,11 +34,15 @@ from repro.core.runner import (
     RunLengths,
     SchemeResult,
     alone_from_sweep,
+    emit_scheme_events,
     evaluate_scheme,
     profile_surface,
 )
 from repro.exec.jobs import SimJob, run_sim_job
 from repro.exec.pool import ProgressFn, run_jobs
+from repro.obs.io import atomic_write_text
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.sim import SimResult, WindowSample
 from repro.workloads.synthetic import AppProfile
 from repro.workloads.table4 import app_by_abbr
@@ -57,7 +59,10 @@ DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
 #: v2: ``SimResult.windows`` round-trips (older entries dropped the
 #: window log, so cached scheme evaluations disagreed with fresh ones
 #: for window-log consumers such as the fig11 timeline experiments).
-CACHE_FORMAT = 2
+#:
+#: v3: ``SchemeResult.decisions`` round-trips (the controllers'
+#: structured decision logs, consumed by the trace/summarize tooling).
+CACHE_FORMAT = 3
 
 #: Algorithm-version salts folded into scheme cache keys.  Bump a
 #: family's version when its controller/search logic changes so stale
@@ -125,21 +130,10 @@ def _fingerprint(*parts: object) -> str:
     return hashlib.md5(blob).hexdigest()[:16]
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Atomically publish ``text`` at ``path``.
-
-    The one sanctioned way to write a file under ``results/`` (lint rule
-    R006): the text streams into a uniquely named temp file in the same
-    directory (pid + random suffix, so concurrent writers never collide)
-    and is published with an atomic ``os.replace``.  Readers see either
-    a complete old version or a complete new one, never a torn file.
-    """
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
-    try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+# ``atomic_write_text`` (the one sanctioned way to write under
+# ``results/``, lint rule R006) lives in :mod:`repro.obs.io` so the
+# observability sinks can use it without importing the experiment
+# layer; this module remains its canonical public home.
 
 
 class ResultStore:
@@ -149,6 +143,10 @@ class ResultStore:
     temp file (pid + random suffix) and is published with an atomic
     ``os.replace``, so two processes saving the same key race benignly —
     readers see either complete version, never a torn file.
+
+    Loads and saves count into the ambient metrics registry
+    (``cache.<kind>.hit`` / ``.miss`` / ``.save``) so a traced run can
+    report how much of it was served from cache.
     """
 
     def __init__(self, root: Path | str = DEFAULT_RESULTS_DIR) -> None:
@@ -161,11 +159,14 @@ class ResultStore:
     def load(self, kind: str, key: str) -> dict | None:
         path = self._path(kind, key)
         if not path.exists():
+            get_metrics().inc(f"cache.{kind}.miss")
             return None
+        get_metrics().inc(f"cache.{kind}.hit")
         with path.open() as fh:
             return json.load(fh)
 
     def save(self, kind: str, key: str, data: dict) -> None:
+        get_metrics().inc(f"cache.{kind}.save")
         atomic_write_text(self._path(kind, key), json.dumps(data))
 
 
@@ -293,9 +294,14 @@ class ExperimentContext:
             jobs = [
                 job for i in missing for job in self._alone_jobs(apps[i], n_cores)
             ]
-            results = run_jobs(
-                run_sim_job, jobs, n_jobs=self.n_jobs, progress=self.progress
-            )
+            with get_tracer().span(
+                "profile_alone",
+                apps=[apps[i].abbr for i in missing],
+                n_jobs=len(jobs),
+            ):
+                results = run_jobs(
+                    run_sim_job, jobs, n_jobs=self.n_jobs, progress=self.progress
+                )
             n_levels = len(TLP_LEVELS)
             for slot, i in enumerate(missing):
                 chunk = results[slot * n_levels : (slot + 1) * n_levels]
@@ -320,15 +326,18 @@ class ExperimentContext:
                 tuple(json.loads(combo)): _result_from_dict(res)
                 for combo, res in cached.items()
             }
-        surface = profile_surface(
-            self.config,
-            apps,
-            lengths=self.lengths,
-            seed=self.seed,
-            core_split=core_split,
-            n_jobs=self.n_jobs,
-            progress=self.progress,
-        )
+        with get_tracer().span(
+            "profile_surface", workload="_".join(a.abbr for a in apps)
+        ):
+            surface = profile_surface(
+                self.config,
+                apps,
+                lengths=self.lengths,
+                seed=self.seed,
+                core_split=core_split,
+                n_jobs=self.n_jobs,
+                progress=self.progress,
+            )
         self.store.save(
             "surface",
             key,
@@ -367,6 +376,7 @@ class ExperimentContext:
             ebs=cached["ebs"],
             ipcs=cached["ipcs"],
             result=_result_from_dict(cached["result"]),
+            decisions=cached.get("decisions", []),
         )
 
     def scheme(
@@ -379,6 +389,9 @@ class ExperimentContext:
         key = self._scheme_key(apps, scheme, core_split)
         cached = self._load_scheme(key)
         if cached is not None:
+            # Telemetry replays identically from the cached window and
+            # decision logs: a fully cached run still yields a full trace.
+            emit_scheme_events(cached)
             return cached
         alone = self.alone_for(apps)
         needs_surface = scheme.startswith(("bf-", "opt-", "pbs-offline-"))
@@ -408,8 +421,10 @@ class ExperimentContext:
                 "ebs": result.ebs,
                 "ipcs": result.ipcs,
                 "result": _result_to_dict(result.result),
+                "decisions": result.decisions,
             },
         )
+        emit_scheme_events(result)
         return result
 
     def schemes(
@@ -451,10 +466,22 @@ class ExperimentContext:
                 )
                 for s in missing
             ]
-            computed = run_jobs(
-                _run_scheme_task, tasks, n_jobs=self.n_jobs, progress=self.progress
-            )
+            with get_tracer().span(
+                "evaluate_schemes",
+                workload="_".join(a.abbr for a in apps),
+                schemes=list(missing),
+            ):
+                computed = run_jobs(
+                    _run_scheme_task, tasks,
+                    n_jobs=self.n_jobs, progress=self.progress,
+                )
             results.update(zip(missing, computed))
+        # Emit telemetry in the parent process: pool workers and cache
+        # loads both bypass the ambient tracer, but the window/decision
+        # logs ride on every SchemeResult, so replaying them here yields
+        # the same trace regardless of where the evaluation ran.
+        for s in schemes:
+            emit_scheme_events(results[s])
         return {s: results[s] for s in schemes}
 
     # --- convenience ------------------------------------------------------------

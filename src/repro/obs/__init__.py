@@ -1,0 +1,82 @@
+"""repro.obs — structured tracing, metrics, and run manifests.
+
+A *leaf* package: stdlib-only, imported freely from ``repro.sim``,
+``repro.core``, ``repro.exec``, and ``repro.experiments`` without
+creating layering violations (lint rule R004) or import cycles.
+
+* :mod:`repro.obs.trace` — span/instant/counter events in two clock
+  domains (host wall time, simulated cycles), JSONL serialization.
+* :mod:`repro.obs.metrics` — ambient counters/gauges/timers/timelines.
+* :mod:`repro.obs.chrome` — Chrome trace-event export for Perfetto.
+* :mod:`repro.obs.manifest` — per-run provenance manifests.
+* :mod:`repro.obs.summarize` — offline ``repro trace summarize``.
+* :mod:`repro.obs.io` — atomic file publication and JSONL reading.
+"""
+
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.io import atomic_write_text, read_jsonl
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    REQUIRED_FIELDS,
+    RunManifest,
+    config_fingerprint,
+    git_revision,
+    validate_manifest,
+)
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.summarize import (
+    decision_log,
+    job_stats,
+    resolve_trace_path,
+    span_totals,
+    summarize,
+    window_timelines,
+)
+from repro.obs.trace import (
+    CLOCK_CYCLES,
+    CLOCK_WALL,
+    Event,
+    NullTracer,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    load_trace,
+    parse_events,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "CLOCK_CYCLES",
+    "CLOCK_WALL",
+    "Event",
+    "MANIFEST_FILENAME",
+    "MetricsRegistry",
+    "NullTracer",
+    "REQUIRED_FIELDS",
+    "RunManifest",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "atomic_write_text",
+    "chrome_trace",
+    "config_fingerprint",
+    "decision_log",
+    "get_metrics",
+    "get_tracer",
+    "git_revision",
+    "job_stats",
+    "load_trace",
+    "parse_events",
+    "read_jsonl",
+    "resolve_trace_path",
+    "set_metrics",
+    "set_tracer",
+    "span_totals",
+    "summarize",
+    "tracing",
+    "validate_manifest",
+    "window_timelines",
+    "write_chrome_trace",
+]

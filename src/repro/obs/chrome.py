@@ -1,0 +1,99 @@
+"""Chrome trace-event export: open a repro trace in Perfetto.
+
+The Chrome trace-event format (and Perfetto's ``ui.perfetto.dev``,
+which loads it directly) wants a single JSON object with a
+``traceEvents`` array of ``{name, cat, ph, ts, dur, pid, tid, args}``
+records, timestamps in microseconds.
+
+Our two clock domains map to two Perfetto "processes":
+
+* pid 1 — the host layer, wall-clock microseconds as-is;
+* pid 2 — the sim layer, rendered at 1 cycle = 1 µs (timestamps are
+  *cycles*; the scale is stated in the process name so nobody reads
+  them as real time).
+
+Parallel sweep jobs each carry a ``worker`` arg (the worker pid, or
+``"main"`` serially); every distinct worker gets its own Perfetto
+thread so concurrent jobs do not render as bogus nesting.
+"""
+
+from __future__ import annotations
+
+import json
+from numbers import Number
+from pathlib import Path
+
+from repro.obs.io import atomic_write_text
+from repro.obs.trace import CLOCK_WALL, Event
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_HOST_PID = 1
+_SIM_PID = 2
+#: thread ids >= this are dynamically assigned worker tracks
+_WORKER_TID_BASE = 100
+
+
+def chrome_trace(events: list[Event], run_id: str = "run") -> dict:
+    """Render events as a Chrome trace-event JSON object."""
+    out: list[dict] = [
+        _process_name(_HOST_PID, f"{run_id}: host (wall clock)"),
+        _process_name(_SIM_PID, f"{run_id}: sim (1 cycle = 1 us)"),
+    ]
+    worker_tids: dict[object, int] = {}
+    for e in events:
+        pid = _HOST_PID if e.clock == CLOCK_WALL else _SIM_PID
+        tid = e.tid
+        if e.ph == "X" and e.cat == "job":
+            worker = e.args.get("worker", "main")
+            tid = worker_tids.setdefault(
+                worker, _WORKER_TID_BASE + len(worker_tids)
+            )
+        record: dict = {
+            "name": e.name,
+            "cat": e.cat,
+            "ph": e.ph,
+            "ts": e.ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if e.ph == "X":
+            record["dur"] = e.dur
+        if e.ph == "C":
+            # counter args must be numeric series; drop anything else
+            record["args"] = {
+                k: v for k, v in e.args.items() if isinstance(v, Number)
+            }
+        elif e.args:
+            record["args"] = e.args
+        if e.ph == "i":
+            record["s"] = "t"  # instant scope: thread
+        out.append(record)
+    for worker, tid in sorted(worker_tids.items(), key=lambda kv: kv[1]):
+        out.append(_thread_name(_HOST_PID, tid, f"worker {worker}"))
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Path, events: list[Event], run_id: str = "run") -> None:
+    """Atomically publish the Chrome export at ``path``."""
+    atomic_write_text(Path(path), json.dumps(chrome_trace(events, run_id)))
+
+
+def _process_name(pid: int, name: str) -> dict:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def _thread_name(pid: int, tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }

@@ -1,0 +1,48 @@
+"""Atomic file publication and JSONL parsing for observability artifacts.
+
+:func:`atomic_write_text` is the canonical implementation behind lint
+rule R006's sanctioned write path: it historically lived in
+:mod:`repro.experiments.common`, which still re-exports it, but the
+implementation sits here so the observability layer (a leaf package
+that ``repro.sim`` / ``repro.core`` / ``repro.exec`` may all import)
+never depends upward on the experiment harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+
+__all__ = ["atomic_write_text", "read_jsonl"]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path``.
+
+    The one sanctioned way to write a file under ``results/`` (lint rule
+    R006): the text streams into a uniquely named temp file in the same
+    directory (pid + random suffix, so concurrent writers never collide)
+    and is published with an atomic ``os.replace``.  Readers see either
+    a complete old version or a complete new one, never a torn file.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def read_jsonl(path: Path) -> list[dict]:
+    """Parse a JSONL file into a list of objects (blank lines skipped)."""
+    records: list[dict] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid JSONL: {exc}") from exc
+    return records

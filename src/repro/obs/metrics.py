@@ -1,0 +1,112 @@
+"""Process-local metrics: counters, gauges, timers, and timelines.
+
+The registry complements the tracer: where the tracer records *events*
+for offline inspection, the registry keeps cheap *aggregates* that live
+code can read back — cache hit/miss counts, per-series window timelines,
+timer totals.  A single ambient registry (:func:`get_metrics`) is always
+on; its operations are dict updates, so even untraced runs can afford
+them on non-simulation paths (never call these from the per-cycle
+simulator hot loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MetricsRegistry",
+    "TimelinePoint",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sample of a per-application time series (t in cycles)."""
+
+    t: float
+    value: float
+
+
+class MetricsRegistry:
+    """Named counters, gauges, timers, and per-app timelines."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._timers: dict[str, dict[str, float]] = {}
+        self._timelines: dict[tuple[str, int], list[TimelinePoint]] = {}
+
+    # --- counters / gauges ---------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # --- timers --------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one duration into timer ``name`` (count/total/max)."""
+        slot = self._timers.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        slot["count"] += 1
+        slot["total_s"] += seconds
+        slot["max_s"] = max(slot["max_s"], seconds)
+
+    def timer(self, name: str) -> dict[str, float]:
+        return dict(self._timers.get(name, {"count": 0, "total_s": 0.0, "max_s": 0.0}))
+
+    # --- timelines -----------------------------------------------------
+
+    def record_point(self, series: str, app_id: int, t: float, value: float) -> None:
+        """Append one (t, value) sample to ``series`` for ``app_id``."""
+        self._timelines.setdefault((series, app_id), []).append(
+            TimelinePoint(t, value)
+        )
+
+    def timeline(self, series: str, app_id: int) -> list[TimelinePoint]:
+        return list(self._timelines.get((series, app_id), []))
+
+    def timeline_series(self) -> list[tuple[str, int]]:
+        """Every (series, app_id) pair with at least one sample."""
+        return sorted(self._timelines)
+
+    # --- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable snapshot of every aggregate."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {k: dict(v) for k, v in sorted(self._timers.items())},
+            "timelines": {
+                f"{series}/app{app}": len(points)
+                for (series, app), points in sorted(self._timelines.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self._timers.clear()
+        self._timelines.clear()
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient process-local registry."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the ambient registry (tests isolate themselves with this)."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous

@@ -14,6 +14,11 @@ debugging and analysis without touching the default simulation path:
 Attach probes with :func:`attach`, run the simulation, then read the
 probe objects.  Attaching wraps/schedules hooks on the simulator
 instance; it never alters timing.
+
+Every probe offers ``to_events()``, which renders its collected data as
+:class:`repro.obs.Event` records (cycle-stamped, so traced runs stay
+deterministic) ready to extend a tracer's event list for the Perfetto
+export.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+from repro.obs.trace import CLOCK_CYCLES, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -89,6 +96,21 @@ class LatencyHistogram:
             "count": float(self.count(app_id)),
         }
 
+    def to_events(self, ts: float = 0.0) -> list[Event]:
+        """One instant event per app with its latency percentiles."""
+        return [
+            Event(
+                name=f"latency.app{app_id}",
+                cat="probe",
+                ph="i",
+                ts=ts,
+                clock=CLOCK_CYCLES,
+                args=self.summary(app_id),
+            )
+            for app_id in sorted(self._buckets)
+            if any(self._buckets[app_id])
+        ]
+
 
 @dataclass
 class QueueDepthProbe:
@@ -115,6 +137,20 @@ class QueueDepthProbe:
     def ever_backpressured(self) -> bool:
         return any(d > 0 for _, _, _, d in self.samples)
 
+    def to_events(self) -> list[Event]:
+        """One counter event per (sample, channel) with both depths."""
+        return [
+            Event(
+                name=f"dram.ch{ch}",
+                cat="probe",
+                ph="C",
+                ts=t,
+                clock=CLOCK_CYCLES,
+                args={"queue": depth, "deferred": deferred},
+            )
+            for t, ch, depth, deferred in self.samples
+        ]
+
 
 @dataclass
 class OccupancyProbe:
@@ -132,6 +168,20 @@ class OccupancyProbe:
             if total:
                 shares.append(occupancy.get(app_id, 0) / total)
         return sum(shares) / len(shares) if shares else 0.0
+
+    def to_events(self) -> list[Event]:
+        """One counter event per sample with per-app resident lines."""
+        return [
+            Event(
+                name="l2.occupancy",
+                cat="probe",
+                ph="C",
+                ts=t,
+                clock=CLOCK_CYCLES,
+                args={f"app{a}": occupancy[a] for a in sorted(occupancy)},
+            )
+            for t, occupancy in self.samples
+        ]
 
 
 def attach(

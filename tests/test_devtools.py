@@ -46,9 +46,9 @@ def rules_of(findings: list[Finding]) -> set[str]:
 
 
 class TestFramework:
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_seven_rules(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="R999"):
@@ -409,6 +409,55 @@ class TestR006AtomicWrite:
         ) == []
 
 
+# --- R007 no print in sim layers ----------------------------------------------
+
+
+class TestR007NoPrint:
+    def test_print_in_sim_flagged_as_warning(self, tmp_path):
+        src = "def step(cycle):\n    print('cycle', cycle)\n"
+        findings = lint_tree(tmp_path, {"src/repro/sim/foo.py": src}, select=["R007"])
+        assert rules_of(findings) == {"R007"}
+        assert findings[0].severity is Severity.WARNING
+        assert "repro.obs" in findings[0].message
+
+    def test_print_in_core_flagged(self, tmp_path):
+        src = "def on_window(now):\n    print(now)\n"
+        findings = lint_tree(tmp_path, {"src/repro/core/ctl.py": src}, select=["R007"])
+        assert rules_of(findings) == {"R007"}
+
+    def test_print_fine_outside_sim_layers(self, tmp_path):
+        src = "def report():\n    print('done')\n"
+        files = {
+            "src/repro/cli2.py": src,
+            "scripts/sweep.py": src,
+            "tests/test_foo.py": "def test_x():\n    print('dbg')\n",
+        }
+        assert lint_tree(tmp_path, files, select=["R007"]) == []
+
+    def test_stream_write_not_flagged(self, tmp_path):
+        src = (
+            "import sys\n"
+            "def step():\n"
+            "    sys.stderr.write('x')\n"
+        )
+        assert lint_tree(tmp_path, {"src/repro/sim/foo.py": src}, select=["R007"]) == []
+
+    def test_noqa_escape_hatch(self, tmp_path):
+        src = "def dump():\n    print('table')  # repro: noqa[R007]\n"
+        assert lint_tree(tmp_path, {"src/repro/core/foo.py": src}, select=["R007"]) == []
+
+    def test_warning_does_not_fail_lint_cli(self, tmp_path, capsys):
+        src = "def step():\n    print('x')\n"
+        path = tmp_path / "src" / "repro" / "sim" / "foo.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(src)
+        (tmp_path / "pyproject.toml").touch()
+        code = main([str(tmp_path), "--root", str(tmp_path), "--select", "R007"])
+        out = capsys.readouterr().out
+        assert code == 0  # warnings report but do not fail
+        assert "R007" in out and "1 warning(s)" in out
+
+
 # --- the CLI and the repo-level gate ------------------------------------------
 
 
@@ -444,7 +493,7 @@ class TestLintCLI:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
             assert rule_id in out
 
     def test_missing_path_is_usage_error(self, capsys):
@@ -458,9 +507,10 @@ class TestLintCLI:
         assert "R003" in capsys.readouterr().out
 
     def test_each_rule_fires_on_seeded_violation(self, tmp_path):
-        """One seeded violation per rule: the linter must catch all six."""
+        """One seeded violation per rule: the linter must catch all seven."""
         seeded = {
             "src/repro/sim/r1.py": "import time\nt = time.time()\n",
+            "src/repro/core/r7.py": "def f(x):\n    print(x)\n",
             "src/repro/r2.py": "def f(x):\n    return x == 1.0\n",
             "src/repro/experiments/r4.py": "import repro.sim.engine\n",
             "src/repro/r5.py": (
@@ -483,4 +533,6 @@ class TestLintCLI:
         engine = tmp_path / "src/repro/sim/engine.py"
         engine.write_text(engine.read_text() + "    extra: int\n")
         findings = lint_paths([tmp_path], root=tmp_path)
-        assert rules_of(findings) >= {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert rules_of(findings) >= {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }

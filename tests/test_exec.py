@@ -134,6 +134,78 @@ class TestRunJobs:
         assert sorted(seen) == list(range(1, 9))
 
 
+class TestProgressElapsed:
+    """The extended progress hook: 4-positional callbacks get per-job
+    elapsed seconds; legacy 3-arg callbacks keep working unchanged."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_four_arg_callback_gets_elapsed(self, n_jobs):
+        seen = []
+
+        def progress(done, total, spec, elapsed):
+            seen.append((done, total, spec, elapsed))
+
+        run_jobs(_square, range(6), n_jobs=n_jobs, progress=progress)
+        assert sorted(d for d, _, _, _ in seen) == list(range(1, 7))
+        assert all(total == 6 for _, total, _, _ in seen)
+        assert all(
+            isinstance(elapsed, float) and elapsed >= 0.0
+            for _, _, _, elapsed in seen
+        )
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_star_args_callback_gets_elapsed(self, n_jobs):
+        calls = []
+        run_jobs(_square, range(3), n_jobs=n_jobs,
+                 progress=lambda *a: calls.append(a))
+        assert all(len(a) == 4 for a in calls)
+
+    def test_legacy_three_arg_callback_unchanged(self):
+        calls = []
+        run_jobs(_square, range(3), n_jobs=1,
+                 progress=lambda done, total, spec: calls.append((done, spec)))
+        assert [d for d, _ in calls] == [1, 2, 3]
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_job_error_carries_duration(self, n_jobs):
+        with pytest.raises(JobError) as err:
+            run_jobs(_explode_on_three, range(6), n_jobs=n_jobs)
+        assert err.value.duration is not None
+        assert err.value.duration >= 0.0
+        assert "after" in str(err.value)
+
+    def test_job_error_without_duration_still_renders(self):
+        err = JobError(spec=7, cause=RuntimeError("x"))
+        assert err.duration is None
+        assert "after" not in str(err)
+
+
+class TestJobTraceEvents:
+    """With a tracer installed, every job leaves a cat='job' span."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 3])
+    def test_jobs_traced(self, n_jobs):
+        from repro.obs import Tracer, tracing
+
+        tracer = Tracer("t")
+        with tracing(tracer):
+            run_jobs(_square, range(5), n_jobs=n_jobs)
+        jobs = [e for e in tracer.events if e.cat == "job"]
+        assert len(jobs) == 5
+        for e in jobs:
+            assert e.ph == "X" and e.dur >= 0.0
+            assert "worker" in e.args
+            assert e.args["queue_wait_s"] >= 0.0
+        if n_jobs == 1:
+            assert {e.args["worker"] for e in jobs} == {"main"}
+
+    def test_untraced_run_emits_nothing(self):
+        from repro.obs import get_tracer
+
+        assert not get_tracer().enabled
+        run_jobs(_square, range(3), n_jobs=1)  # must not raise or record
+
+
 # --- parallel-vs-serial determinism -------------------------------------------
 
 LEVELS = (1, 4, 16)  # a sub-lattice keeps the determinism tests fast

@@ -52,6 +52,64 @@ class TestLatencyHistogram:
         hist.record(0, 1e12)
         assert hist.percentile(0, 1.0) <= 2**5
 
+    def test_empty_histogram_percentile_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError, match="no latency samples"):
+            hist.percentile(0, 0.99)
+        with pytest.raises(ValueError, match="no latency samples"):
+            hist.summary(0)
+        # other apps' samples don't leak into an empty app
+        hist.record(1, 100.0)
+        with pytest.raises(ValueError, match="no latency samples"):
+            hist.percentile(0, 0.5)
+
+    def test_single_bucket_percentiles_stay_in_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(50):
+            hist.record(0, 100.0)  # all in [64, 128)
+        for q in (0.01, 0.50, 0.95, 0.99, 1.0):
+            assert 64 <= hist.percentile(0, q) <= 128
+
+    def test_p99_on_two_samples_lands_in_upper_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0, 10.0)     # bucket [8, 16)
+        hist.record(0, 1000.0)   # bucket [512, 1024)
+        # with two samples, P99 targets 1.98 of 2 -> the larger sample
+        assert hist.percentile(0, 0.99) >= 512
+        # while P50 interpolates within the first sample's bucket
+        assert 8 <= hist.percentile(0, 0.50) <= 16
+        assert hist.summary(0)["count"] == 2.0
+
+
+class TestProbeEvents:
+    def test_histogram_to_events_skips_empty_apps(self):
+        hist = LatencyHistogram()
+        hist.record(2, 100.0)
+        hist.record(0, 50.0)
+        events = hist.to_events(ts=1234.0)
+        assert [e.name for e in events] == ["latency.app0", "latency.app2"]
+        for e in events:
+            assert e.ph == "i" and e.cat == "probe" and e.clock == "cycles"
+            assert e.ts == 1234.0
+            assert e.args["p50"] <= e.args["p99"]
+        assert LatencyHistogram().to_events() == []
+
+    def test_queue_probe_to_events(self):
+        probe = QueueDepthProbe()
+        probe.samples.extend([(500.0, 0, 3, 0), (500.0, 1, 7, 2)])
+        events = probe.to_events()
+        assert [e.name for e in events] == ["dram.ch0", "dram.ch1"]
+        assert events[1].args == {"queue": 7, "deferred": 2}
+        assert all(e.ph == "C" and e.clock == "cycles" for e in events)
+
+    def test_occupancy_probe_to_events(self):
+        probe = OccupancyProbe()
+        probe.samples.append((2000.0, {1: 40, 0: 60}))
+        (event,) = probe.to_events()
+        assert event.name == "l2.occupancy"
+        assert list(event.args) == ["app0", "app1"]  # sorted by app id
+        assert event.args == {"app0": 60, "app1": 40}
+
 
 class TestProbesOnSimulator:
     def run_with_probes(self, cycles=8000):
