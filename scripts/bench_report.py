@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Engine hot-path throughput benchmark -> ``BENCH_engine.json``.
+
+Measures simulated-cycles/sec and events/sec on three representative
+workloads:
+
+* ``alone``       — one application, fixed TLP (the profiling unit);
+* ``corun``       — two co-running applications, fixed combination
+                    (the surface-sweep unit, the refactor's 2x target);
+* ``pbs-dynamic`` — a co-run driven by the online PBS controller
+                    (the long dynamic-scheme unit).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py                 # full run
+    PYTHONPATH=src python scripts/bench_report.py --quick         # CI smoke
+    PYTHONPATH=src python scripts/bench_report.py --set-baseline  # (re)record
+
+Results are written to ``BENCH_engine.json`` at the repo root.  The
+file keeps one section per mode (``full``/``quick``), each holding a
+``baseline`` (recorded once, pre-refactor, via ``--set-baseline``), the
+``current`` measurement, and the per-case ``speedup`` ratio of current
+over baseline cycles/sec.  Ratios are only meaningful when baseline and
+current were measured on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.config import small_config  # noqa: E402
+from repro.core.pbs import PBSController  # noqa: E402
+from repro.core.runner import run_combo  # noqa: E402
+from repro.obs.io import atomic_write_text  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.workloads.table4 import app_by_abbr  # noqa: E402
+
+DEFAULT_OUT = ROOT / "BENCH_engine.json"
+SCHEMA = 1
+
+#: case name -> (apps, combo, controller factory or None)
+CASES = ("alone", "corun", "pbs-dynamic")
+
+#: simulated cycles per case, per mode
+LENGTHS = {
+    "full": {"alone": 200_000, "corun": 200_000, "pbs-dynamic": 200_000},
+    "quick": {"alone": 30_000, "corun": 30_000, "pbs-dynamic": 40_000},
+}
+
+
+def _build(case: str, cycles: int):
+    """(simulator, run kwargs) for one benchmark case."""
+    cfg = small_config()
+    if case == "alone":
+        sim = Simulator(cfg, [app_by_abbr("BLK")], seed=7)
+        initial = {0: 8}
+    elif case == "corun":
+        sim = Simulator(cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")], seed=7)
+        initial = {0: 8, 1: 8}
+    elif case == "pbs-dynamic":
+        controller = PBSController("ws", n_apps=2, sample_period=800)
+        sim = Simulator(
+            cfg, [app_by_abbr("BFS"), app_by_abbr("BLK")],
+            controller=controller, seed=9,
+        )
+        initial = {0: 24, 1: 24}
+    else:  # pragma: no cover - guarded by CASES
+        raise ValueError(f"unknown case {case!r}")
+    return sim, {"warmup": cycles // 10, "initial_tlp": initial}
+
+
+def _events_processed(sim: Simulator) -> int:
+    """Events executed so far: total scheduled minus still queued."""
+    return sim.events._seq - len(sim.events)
+
+
+def measure_case(case: str, cycles: int, repeat: int) -> dict:
+    """Best-of-``repeat`` wall time for one case at ``cycles`` cycles."""
+    best = None
+    events = 0
+    for _ in range(repeat):
+        sim, kwargs = _build(case, cycles)
+        t0 = time.perf_counter()
+        sim.run(cycles, **kwargs)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+            events = _events_processed(sim)
+    return {
+        "cycles": cycles,
+        "events": events,
+        "wall_s": round(best, 6),
+        "cycles_per_sec": round(cycles / best, 1),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def run_mode(mode: str, repeat: int) -> dict:
+    cases = {}
+    for case in CASES:
+        cycles = LENGTHS[mode][case]
+        cases[case] = measure_case(case, cycles, repeat)
+        print(
+            f"{mode:5s} {case:12s} {cases[case]['cycles_per_sec']:>12,.0f} cyc/s"
+            f" {cases[case]['events_per_sec']:>12,.0f} ev/s"
+        )
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cases": cases,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short runs (CI smoke); records the 'quick' mode")
+    parser.add_argument("--set-baseline", action="store_true",
+                        help="record this measurement as the mode's baseline")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="best-of repetitions (default: 3 full, 2 quick)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeat = args.repeat if args.repeat is not None else (2 if args.quick else 3)
+
+    report = {"schema": SCHEMA, "modes": {}}
+    if args.out.exists():
+        try:
+            report = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} unreadable, starting fresh", file=sys.stderr)
+    report.setdefault("schema", SCHEMA)
+    modes = report.setdefault("modes", {})
+    section = modes.setdefault(mode, {})
+
+    measured = run_mode(mode, repeat)
+    if args.set_baseline or "baseline" not in section:
+        section["baseline"] = measured
+    section["current"] = measured
+    baseline_cases = section["baseline"]["cases"]
+    section["speedup"] = {
+        case: round(
+            measured["cases"][case]["cycles_per_sec"]
+            / baseline_cases[case]["cycles_per_sec"],
+            3,
+        )
+        for case in CASES
+        if case in baseline_cases
+    }
+
+    atomic_write_text(args.out, json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+    for case, ratio in section["speedup"].items():
+        print(f"  speedup[{mode}/{case}] = {ratio:.3f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

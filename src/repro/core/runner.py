@@ -342,6 +342,7 @@ def evaluate_scheme(
     seed: int | None = None,
     core_split: tuple[int, ...] | None = None,
     workload: str | None = None,
+    l2_way_quota: dict[int, int] | None = None,
 ) -> SchemeResult:
     """Evaluate one scheme on one workload and compute all metrics.
 
@@ -349,6 +350,10 @@ def evaluate_scheme(
     and pay their search/adaptation overheads inside the measured run;
     static schemes resolve a combination first (possibly from the
     profiled ``surface``) and run it unchanged.
+
+    ``l2_way_quota`` (per-application L2 way limits, §VI-D sensitivity)
+    is threaded through to :func:`run_combo`, so way-partitioned-L2
+    runs can go through the scheme path like every other evaluation.
     """
     if scheme not in ALL_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; known: {ALL_SCHEMES}")
@@ -385,6 +390,9 @@ def evaluate_scheme(
         and combo in surface
         and lengths.profile_cycles == lengths.eval_cycles
         and lengths.profile_warmup == lengths.eval_warmup
+        # surfaces are profiled without way partitioning, so a
+        # quota-constrained evaluation must simulate afresh
+        and l2_way_quota is None
     )
     if reusable:
         # The static combination was already simulated while profiling
@@ -403,6 +411,7 @@ def evaluate_scheme(
                 seed=seed,
                 controller=controller,
                 core_split=core_split,
+                l2_way_quota=l2_way_quota,
             )
     final_combo = combo
     if final_combo is None and isinstance(controller, PBSController):

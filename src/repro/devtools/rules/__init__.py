@@ -11,6 +11,7 @@ from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
     cache_schema,
     determinism,
     floatcmp,
+    hotpath,
     layering,
     noprint,
     picklability,
@@ -24,4 +25,5 @@ __all__ = [
     "picklability",
     "atomic_write",
     "noprint",
+    "hotpath",
 ]

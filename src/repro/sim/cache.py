@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 __all__ = ["CacheStats", "SetAssocCache", "MSHRTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Access/miss counters, totals and per-application."""
 
@@ -59,6 +59,11 @@ class SetAssocCache:
     line; a hit re-inserts the key to mark it most recently used.
     """
 
+    __slots__ = (
+        "n_sets", "assoc", "line_bytes", "stats", "_sets", "bypass_apps",
+        "way_quota",
+    )
+
     def __init__(self, n_sets: int, assoc: int, line_bytes: int) -> None:
         if n_sets <= 0 or assoc <= 0:
             raise ValueError("cache must have positive sets and associativity")
@@ -88,12 +93,21 @@ class SetAssocCache:
         caller is responsible for issuing the fill once the lower level
         responds (see :meth:`fill`).
         """
-        line_set = self._sets[self.set_index(line_addr)]
+        line_set = self._sets[(line_addr // self.line_bytes) % self.n_sets]
         hit = line_addr in line_set
         if hit:
             # Re-insert to mark most-recently-used.
             line_set[line_addr] = line_set.pop(line_addr)
-        self.stats.record(app_id, hit)
+        # Statistics recording is inlined (this runs once per simulated
+        # cache access; see docs/performance.md).
+        stats = self.stats
+        stats.accesses += 1
+        by_app = stats.accesses_by_app
+        by_app[app_id] = by_app.get(app_id, 0) + 1
+        if not hit:
+            stats.misses += 1
+            by_app = stats.misses_by_app
+            by_app[app_id] = by_app.get(app_id, 0) + 1
         return hit
 
     def fill(self, line_addr: int, app_id: int) -> int | None:
@@ -104,7 +118,7 @@ class SetAssocCache:
         """
         if app_id in self.bypass_apps:
             return None
-        line_set = self._sets[self.set_index(line_addr)]
+        line_set = self._sets[(line_addr // self.line_bytes) % self.n_sets]
         if line_addr in line_set:
             line_set[line_addr] = line_set.pop(line_addr)
             return None
@@ -153,6 +167,8 @@ class MSHRTable:
     engine will wake when the fill returns.  A full table back-pressures
     by rejecting allocation (the engine retries after a delay).
     """
+
+    __slots__ = ("n_entries", "_pending", "merges", "allocation_failures")
 
     def __init__(self, n_entries: int) -> None:
         self.n_entries = n_entries

@@ -51,7 +51,7 @@ class Warp:
     """One warp context on a core."""
 
     __slots__ = ("warp_id", "app_id", "stream", "active", "parked", "pending",
-                 "issue_time", "iterations")
+                 "issue_time", "iterations", "compute_txn", "resp_txn")
 
     def __init__(self, warp_id: int, app_id: int, stream: WarpStream) -> None:
         self.warp_id = warp_id
@@ -66,6 +66,12 @@ class Warp:
         #: time the in-flight memory instruction was issued (for latency)
         self.issue_time = 0.0
         self.iterations = 0
+        #: the warp's recurring engine transactions (compute-phase
+        #: completion and L1-hit response); at most one of each is ever
+        #: in flight, so the engine reuses them instead of allocating
+        #: per iteration.  Wired up by the Simulator at construction.
+        self.compute_txn = None
+        self.resp_txn = None
 
 
 class IssueServer:
@@ -77,6 +83,8 @@ class IssueServer:
     aggregate, and never faster than one instruction per cycle for the
     individual warp.
     """
+
+    __slots__ = ("issue_width", "free_at")
 
     def __init__(self, issue_width: float) -> None:
         if issue_width <= 0:
@@ -94,6 +102,8 @@ class IssueServer:
 
 class Core:
     """One GPU core: warp contexts + issue server + SWL TLP limit."""
+
+    __slots__ = ("core_id", "app_id", "config", "issue", "warps", "tlp")
 
     def __init__(self, core_id: int, app_id: int, config: GPUConfig) -> None:
         self.core_id = core_id

@@ -25,7 +25,6 @@ bursts and bank-level parallelism emerges naturally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.config import GPUConfig
@@ -34,17 +33,44 @@ from repro.sim.address import AddressMap
 __all__ = ["DRAMRequest", "DRAMChannel"]
 
 
-@dataclass
 class DRAMRequest:
-    """One cache-line read request queued at a channel."""
+    """One cache-line read request queued at a channel.
 
-    line_addr: int
-    app_id: int
-    bank: int
-    row: int
-    enqueue_time: float
-    callback: Callable[["DRAMRequest", float], None]
-    row_hit: bool = field(default=False, init=False)
+    The request is itself the data-return event: the scheduler pushes it
+    on the event queue at its burst's end time, and calling it invokes
+    ``callback(request, now)`` — no per-request closure is allocated.
+    """
+
+    __slots__ = (
+        "line_addr", "app_id", "bank", "row", "enqueue_time", "callback",
+        "row_hit",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        app_id: int,
+        bank: int,
+        row: int,
+        enqueue_time: float,
+        callback: Callable[["DRAMRequest", float], None],
+    ) -> None:
+        self.line_addr = line_addr
+        self.app_id = app_id
+        self.bank = bank
+        self.row = row
+        self.enqueue_time = enqueue_time
+        self.callback = callback
+        self.row_hit = False
+
+    def __call__(self, now: float) -> None:
+        self.callback(self, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DRAMRequest(line_addr={self.line_addr:#x}, app_id={self.app_id},"
+            f" bank={self.bank}, row={self.row}, row_hit={self.row_hit})"
+        )
 
 
 class _Bank:
@@ -58,6 +84,14 @@ class _Bank:
 
 class DRAMChannel:
     """One GDDR5 channel: banks + row buffers + FR-FCFS scheduler."""
+
+    __slots__ = (
+        "channel_id", "timings", "addr_map", "frfcfs_cap", "capacity",
+        "_schedule_event", "on_dequeue", "_banks", "_group_col_free",
+        "queue", "bus_free", "last_activate", "_deciding", "_hit_streak",
+        "row_hits", "row_misses", "lines_transferred", "busy_cycles",
+        "_decide_event", "_bank_group_of",
+    )
 
     def __init__(
         self,
@@ -75,6 +109,10 @@ class DRAMChannel:
         #: called after each dequeue so a backpressured upstream (the L2
         #: miss path) can re-drive a deferred request
         self.on_dequeue: Callable[[float], None] | None = None
+        #: pre-bound hot references (one bound method per channel, not
+        #: one per scheduling decision)
+        self._decide_event = self._decide
+        self._bank_group_of = addr_map.bank_group_of
         self._banks = [_Bank() for _ in range(config.banks_per_channel)]
         self._group_col_free = [0.0] * config.bank_groups_per_channel
         self.queue: list[DRAMRequest] = []
@@ -98,7 +136,7 @@ class DRAMChannel:
         self.queue.append(request)
         if not self._deciding:
             self._deciding = True
-            self._schedule_event(now, self._decide)
+            self._schedule_event(now, self._decide_event)
 
     @property
     def queue_depth(self) -> int:
@@ -140,23 +178,27 @@ class DRAMChannel:
         return best
 
     def _decide(self, now: float) -> None:
-        if not self.queue:
+        queue = self.queue
+        if not queue:
             self._deciding = False
             return
         t = self.timings
-        req = self.queue.pop(self._pick(now))
+        # With one queued request the FR-FCFS choice is trivial; the
+        # scan only runs when there is an actual decision to make.
+        req = queue.pop() if len(queue) == 1 else queue.pop(self._pick(now))
         if self.on_dequeue is not None:
             self.on_dequeue(now)
         bank = self._banks[req.bank]
-        group = self.addr_map.bank_group_of(req.bank)
+        group = self._bank_group_of(req.bank)
+        group_col_free = self._group_col_free
+        row = req.row
 
-        row_hit = bank.open_row == req.row
+        row_hit = bank.open_row == row
         req.row_hit = row_hit
         if row_hit:
             self._hit_streak += 1
             self.row_hits += 1
-            col_issue = max(now, bank.free_at, self._group_col_free[group])
-            data_ready = col_issue + t.t_cl
+            col_issue = max(now, bank.free_at, group_col_free[group])
         else:
             self._hit_streak = 0
             self.row_misses += 1
@@ -167,20 +209,25 @@ class DRAMChannel:
                 act_start = max(act_start, bank.ras_until) + t.t_rp
             self.last_activate = act_start
             bank.ras_until = act_start + t.t_ras
-            bank.open_row = req.row
-            col_issue = max(act_start + t.t_rcd, self._group_col_free[group])
-            data_ready = col_issue + t.t_cl
+            bank.open_row = row
+            col_issue = max(act_start + t.t_rcd, group_col_free[group])
 
-        self._group_col_free[group] = col_issue + t.t_ccd
-        data_start = max(data_ready, self.bus_free)
-        data_end = data_start + t.burst_cycles
+        t_ccd = t.t_ccd
+        data_ready = col_issue + t.t_cl
+        group_col_free[group] = col_issue + t_ccd
+        bus_free = self.bus_free
+        data_start = data_ready if data_ready > bus_free else bus_free
+        burst = t.burst_cycles
+        data_end = data_start + burst
         self.bus_free = data_end
-        bank.free_at = col_issue + t.t_ccd
+        bank.free_at = col_issue + t_ccd
         self.lines_transferred += 1
-        self.busy_cycles += t.burst_cycles
+        self.busy_cycles += burst
 
-        self._schedule_event(data_end, lambda when, r=req: r.callback(r, when))
-        if not self.queue:
+        # The request object is its own data-return event (see
+        # DRAMRequest.__call__) — no per-burst closure.
+        self._schedule_event(data_end, req)
+        if not queue:
             self._deciding = False
             return
         # Pipeline: a new command can be scheduled every t_ccd cycles, so
@@ -192,4 +239,4 @@ class DRAMChannel:
         # shallow enough that late-arriving row hits can still reorder in.
         lookahead = t.row_miss_service + t.burst_cycles
         next_decision = max(now + t.t_ccd, self.bus_free - lookahead)
-        self._schedule_event(next_decision, self._decide)
+        self._schedule_event(next_decision, self._decide_event)

@@ -15,13 +15,30 @@ A TLP controller (see :mod:`repro.core.controller`) can be attached; it
 is invoked every ``sample_period`` cycles with per-application window
 samples and may retarget each application's warp limit, which is applied
 SWL-style by :meth:`Simulator.set_tlp`.
+
+Hot-path architecture (see ``docs/performance.md``):
+
+* Every memory-hierarchy hop is one :class:`MemTxn` — a slotted
+  transaction record that is pushed on the event queue directly and
+  mutated in place as it moves between stages.  There is no per-event
+  closure allocation anywhere on the warp loop or the miss path.
+* :meth:`Simulator._dispatch` is the single stage machine that consumes
+  transactions; :class:`EventQueue` recognises ``MemTxn`` instances and
+  routes them there without an intermediate call.
+* :class:`EventQueue` is a bucketed calendar queue: events land in an
+  integer-cycle wheel slot, each bucket drains in exact ``(time, seq)``
+  order, and far-future events (controller windows, warmup marks) wait
+  in a small overflow heap.  Ordering is bit-identical to the previous
+  float-keyed heap, which the golden fixtures under ``tests/golden/``
+  enforce.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import GPUConfig
@@ -36,32 +53,205 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.controller import TLPController
     from repro.workloads.synthetic import AppProfile
 
-__all__ = ["EventQueue", "Simulator", "SimResult"]
+__all__ = ["EventQueue", "MemTxn", "Simulator", "SimResult"]
+
+
+class MemTxn:
+    """One memory transaction moving through the simulated hierarchy.
+
+    A transaction is the unit the event queue carries for the warp loop
+    and the miss path: instead of allocating a closure per hop, the
+    engine mutates ``stage`` (plus the fields the next stage needs) and
+    re-pushes the same object.  Warps own two long-lived transactions
+    (their compute-done and L1-hit-response records); one further
+    transaction is allocated per non-merged L1 miss and rides the
+    L2/DRAM round trip, including any time spent parked in a deferred
+    queue under MSHR or DRAM-queue backpressure.
+    """
+
+    #: warp's compute phase finished; issue its memory accesses
+    COMPUTE_DONE = 0
+    #: L1-hit responses arrive back at the warp
+    WARP_RESP = 1
+    #: request packet reached an L2 slice
+    L2_ACCESS = 2
+    #: response packet reached the core; fill L1 and wake waiters
+    L1_FILL = 3
+    #: parked retry: re-attempt the L1 MSHR allocation
+    RETRY_L1 = 4
+    #: parked retry: re-attempt the L2 MSHR allocation
+    RETRY_L2 = 5
+    #: parked retry: re-attempt the DRAM queue enqueue
+    RETRY_DRAM = 6
+
+    __slots__ = (
+        "stage", "core", "warp", "line", "app_id", "channel", "n_inst",
+        "n", "lines",
+    )
+
+    def __init__(
+        self,
+        stage: int = 0,
+        core: "Core | None" = None,
+        warp: "Warp | None" = None,
+        line: int = 0,
+        app_id: int = 0,
+        channel: int = 0,
+        n_inst: int = 0,
+        n: int = 0,
+        lines: list[int] | None = None,
+    ) -> None:
+        self.stage = stage
+        self.core = core
+        self.warp = warp
+        self.line = line
+        self.app_id = app_id
+        self.channel = channel
+        #: instructions retired by the compute phase (COMPUTE_DONE)
+        self.n_inst = n_inst
+        #: number of L1-hit responses carried (WARP_RESP)
+        self.n = n
+        #: line addresses of the pending memory instruction (COMPUTE_DONE)
+        self.lines = lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemTxn(stage={self.stage}, line={self.line:#x}, "
+            f"app={self.app_id}, ch={self.channel})"
+        )
+
+
+_COMPUTE_DONE = MemTxn.COMPUTE_DONE
+_WARP_RESP = MemTxn.WARP_RESP
+_L2_ACCESS = MemTxn.L2_ACCESS
+_L1_FILL = MemTxn.L1_FILL
+_RETRY_L1 = MemTxn.RETRY_L1
+_RETRY_L2 = MemTxn.RETRY_L2
+_RETRY_DRAM = MemTxn.RETRY_DRAM
+
+#: shared immutable default for MSHR release when no waiter is registered
+_EMPTY: tuple = ()
 
 
 class EventQueue:
-    """A time-ordered queue of callbacks, with deterministic tie-breaks."""
+    """A time-ordered queue of events, with deterministic tie-breaks.
+
+    Implemented as a calendar queue: a power-of-two wheel of buckets,
+    each spanning ``2**BUCKET_SHIFT`` cycles, plus an overflow heap for
+    events beyond the wheel's horizon (controller windows, the warmup
+    mark).  Each bucket is drained in exact ``(time, seq)`` order, and
+    buckets are visited in increasing cycle order, so the execution
+    order is identical to a global float-keyed heap — only cheaper:
+    push and pop are O(1) for the intra-hierarchy latencies that
+    dominate.
+
+    Entries are ``(time, seq, obj)``.  ``obj`` is either a plain
+    ``fn(now)`` callable or a :class:`MemTxn`, which is routed to the
+    ``dispatch`` hook (bound by :class:`Simulator`) without an
+    intermediate closure.
+    """
+
+    #: log2 of a bucket's span in cycles; coarse enough that the walk
+    #: rarely visits empty buckets at hot-path event densities
+    BUCKET_SHIFT = 4
+    #: wheel length in buckets; must be a power of two, and the covered
+    #: horizon (WHEEL_SIZE << BUCKET_SHIFT cycles) must exceed every
+    #: intra-hierarchy latency (the longest is a congested DRAM round
+    #: trip, well under a thousand cycles)
+    WHEEL_SIZE = 1024
+
+    __slots__ = (
+        "now", "dispatch", "_seq", "_size", "_wheel", "_mask", "_cursor",
+        "_overflow", "_overflow_slot",
+    )
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
-        self._seq = 0
         self.now = 0.0
+        #: stage machine for MemTxn entries; set by the owning Simulator
+        self.dispatch: Callable[[MemTxn, float], None] | None = None
+        self._seq = 0
+        self._size = 0
+        self._mask = self.WHEEL_SIZE - 1
+        # Each bucket is a heap ordered by (time, seq): pushes land with
+        # heappush, so mid-drain insertions keep the order without a
+        # Python-level sort.
+        self._wheel: list[list[tuple]] = [[] for _ in range(self.WHEEL_SIZE)]
+        self._cursor = 0
+        self._overflow: list[tuple] = []
+        #: bucket slot of the overflow head (cached; 2**63 when empty)
+        self._overflow_slot = 1 << 63
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
-    def push(self, time: float, fn: Callable[[float], None]) -> None:
+    def push(self, time: float, fn) -> None:
         if time < self.now:
             raise ValueError(f"event scheduled in the past: {time} < {self.now}")
-        heapq.heappush(self._heap, (time, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        self._size += 1
+        slot = int(time) >> 4  # BUCKET_SHIFT
+        if slot - self._cursor < 1024:  # WHEEL_SIZE
+            heappush(self._wheel[slot & self._mask], (time, seq, fn))
+        else:
+            heappush(self._overflow, (time, seq, fn))
+            if slot < self._overflow_slot:
+                self._overflow_slot = slot
+
+    def _migrate(self, cursor: int) -> None:
+        """Move due overflow events into the wheel bucket at ``cursor``."""
+        overflow = self._overflow
+        bucket = self._wheel[cursor & self._mask]
+        horizon = float((cursor + 1) << 4)  # BUCKET_SHIFT
+        while overflow and overflow[0][0] < horizon:
+            heappush(bucket, heappop(overflow))
+        self._overflow_slot = (
+            int(overflow[0][0]) >> 4 if overflow else 1 << 63
+        )
 
     def run_until(self, t_end: float) -> None:
-        heap = self._heap
-        while heap and heap[0][0] <= t_end:
-            time, _, fn = heapq.heappop(heap)
-            self.now = time
-            fn(time)
+        wheel = self._wheel
+        mask = self._mask
+        overflow = self._overflow
+        dispatch = self.dispatch
+        end_slot = int(t_end) >> 4  # BUCKET_SHIFT
+        cursor = self._cursor
+        while True:
+            if self._overflow_slot <= cursor:
+                self._migrate(cursor)
+            bucket = wheel[cursor & mask]
+            if bucket:
+                self._cursor = cursor
+                popped = 0
+                while bucket:
+                    entry = heappop(bucket)
+                    time, _seq, obj = entry
+                    if time > t_end:
+                        heappush(bucket, entry)
+                        break
+                    popped += 1
+                    self.now = time
+                    if obj.__class__ is MemTxn:
+                        dispatch(obj, time)
+                    else:
+                        obj(time)
+                # _size is maintained as a batch: nothing reads it
+                # while a bucket drains (push never consults it).
+                self._size -= popped
+                if bucket:
+                    break  # the rest of this bucket is beyond t_end
+            if cursor >= end_slot:
+                break
+            if self._size != len(overflow):
+                cursor += 1
+            else:
+                # The wheel is drained; everything left (if anything)
+                # sits in the overflow heap.  Jump straight to its head.
+                jump = self._overflow_slot
+                if jump > end_slot:
+                    break
+                cursor = jump if jump > cursor else cursor + 1
+        self._cursor = cursor if cursor <= end_slot else end_slot
         self.now = t_end
 
 
@@ -101,6 +291,18 @@ class SimResult:
 class Simulator:
     """Whole-GPU simulator executing one or more applications."""
 
+    __slots__ = (
+        "config", "apps", "controller", "seed", "addr_map", "events",
+        "crossbar", "core_split", "cores", "l1s", "l1_mshrs",
+        "cores_of_app", "l2s", "l2_mshrs", "_l1_deferred", "_l2_deferred",
+        "channels", "_dram_deferred", "collector", "tlp_timeline",
+        "window_log", "current_tlp", "_ran", "_stats", "_push",
+        "_channel_of", "_bank_row_of", "_req_ports", "_resp_ports",
+        "_l1_hit_latency", "_l2_hit_latency", "_dram_cb", "_dram_drain_cb",
+        "_busy_at_measurement", "_txn_pool", "_req_pool", "_interleave",
+        "_n_channels", "_row_bytes", "_banks_per_channel",
+    )
+
     def __init__(
         self,
         config: GPUConfig,
@@ -118,6 +320,7 @@ class Simulator:
         self.seed = config.base_seed if seed is None else seed
         self.addr_map = AddressMap.from_config(config)
         self.events = EventQueue()
+        self.events.dispatch = self._dispatch
         self.crossbar = Crossbar(config)
 
         if core_split is None:
@@ -161,11 +364,10 @@ class Simulator:
             MSHRTable(geom.mshr_entries * 4) for _ in range(config.n_channels)
         ]
         # Back-pressure: accesses that found their MSHR table full wait
-        # here and are re-driven as fills release entries.
-        self._l1_deferred: list[deque[Callable[[float], None]]] = [
-            deque() for _ in self.cores
-        ]
-        self._l2_deferred: list[deque[Callable[[float], None]]] = [
+        # here as parked transactions and are re-driven as fills release
+        # entries.
+        self._l1_deferred: list[deque[MemTxn]] = [deque() for _ in self.cores]
+        self._l2_deferred: list[deque[MemTxn]] = [
             deque() for _ in range(config.n_channels)
         ]
         self.channels = [
@@ -174,13 +376,17 @@ class Simulator:
         ]
         # DRAM-queue backpressure: L2 misses deferred while a channel's
         # queue is full, re-driven as the scheduler dequeues.
-        self._dram_deferred: list[deque[Callable[[float], None]]] = [
+        self._dram_deferred: list[deque[MemTxn]] = [
             deque() for _ in range(config.n_channels)
         ]
-        for ch, channel in enumerate(self.channels):
-            channel.on_dequeue = (
-                lambda now, c=ch: self._drain_dram_deferred(c, now)
-            )
+        # The per-channel drain hook is armed (assigned to
+        # channel.on_dequeue) only while that channel has parked
+        # transactions, so an unloaded scheduler pays nothing per
+        # dequeue.
+        self._dram_drain_cb = [
+            partial(self._drain_dram_deferred, ch)
+            for ch in range(config.n_channels)
+        ]
 
         self.collector = StatsCollector(
             list(range(len(apps))), config.peak_bw_lines_per_cycle
@@ -190,8 +396,37 @@ class Simulator:
         self.current_tlp: dict[int, int] = {}
         self._ran = False
 
+        # Hot-path pre-binding: resolve the per-event attribute chains
+        # once.  self._stats aliases the collector's AppStats objects, so
+        # windows and measurements observe every inlined increment.
+        self._stats = [self.collector.apps[a] for a in range(len(apps))]
+        self._push = self.events.push
+        self._channel_of = self.addr_map.channel_of
+        self._bank_row_of = self.addr_map.bank_row_of
+        # Address-map geometry for the inlined channel/bank arithmetic
+        # (must mirror AddressMap.channel_of / bank_row_of exactly).
+        self._interleave = config.interleave_bytes
+        self._n_channels = config.n_channels
+        self._row_bytes = config.row_bytes
+        self._banks_per_channel = config.banks_per_channel
+        self._req_ports = self.crossbar.request_ports
+        self._resp_ports = self.crossbar.response_ports
+        self._l1_hit_latency = config.l1_hit_latency
+        self._l2_hit_latency = config.l2_hit_latency
+        self._dram_cb = [
+            partial(self._dram_done, ch) for ch in range(config.n_channels)
+        ]
+        self._busy_at_measurement = [0.0] * config.n_channels
+        # Free lists: retired miss transactions and completed DRAM
+        # requests are recycled instead of re-allocated.  Warp-owned
+        # transactions (compute_txn/resp_txn) and parked transactions
+        # never enter the pool — only objects with no remaining owner.
+        self._txn_pool: list[MemTxn] = []
+        self._req_pool: list[DRAMRequest] = []
+
         # Populate warp contexts; warps of one core share a sequential
         # cursor so adjacent warps touch adjacent lines (row locality).
+        # Each warp owns its two recurring transactions.
         for app_id, profile in enumerate(self.apps):
             for core in self.cores_of_app[app_id]:
                 core_stream = profile.make_core_stream(
@@ -206,7 +441,9 @@ class Simulator:
                         addr_map=self.addr_map,
                         core_stream=core_stream,
                     )
-                    core.add_warp(stream)
+                    warp = core.add_warp(stream)
+                    warp.compute_txn = MemTxn(_COMPUTE_DONE, core, warp)
+                    warp.resp_txn = MemTxn(_WARP_RESP, core, warp)
 
     # ------------------------------------------------------------------
     # TLP actuation
@@ -240,155 +477,513 @@ class Simulator:
                 l2.bypass_apps.discard(app_id)
 
     # ------------------------------------------------------------------
+    # Transaction dispatch (the hot path)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, txn: MemTxn, now: float) -> None:
+        """Advance one transaction by one stage.
+
+        This is the engine's single event consumer: the event queue
+        routes every :class:`MemTxn` here, and the deferred queues are
+        drained through it as backpressure lifts.
+        """
+        stage = txn.stage
+        if stage == _COMPUTE_DONE:
+            warp = txn.warp
+            stats = self._stats[warp.app_id]
+            stats.insts += txn.n_inst
+            warp.iterations += 1
+            lines = txn.lines
+            if not lines:
+                if warp.active:
+                    self._start_warp(txn.core, warp, now)
+                else:
+                    warp.parked = True
+                return
+            core = txn.core
+            cid = core.core_id
+            n = len(lines)
+            warp.pending = n
+            warp.issue_time = now
+            l1 = self.l1s[cid]
+            l1_sets = l1._sets
+            lb = l1.line_bytes
+            ns = l1.n_sets
+            mshr = self.l1_mshrs[cid]
+            pending_map = mshr._pending
+            app_id = warp.app_id
+            n_hits = 0
+            n_misses = 0
+            for line in lines:
+                # Inlined SetAssocCache.access: LRU lookup with the
+                # statistics batched after the loop.
+                line_set = l1_sets[(line // lb) % ns]
+                if line in line_set:
+                    line_set[line] = line_set.pop(line)
+                    n_hits += 1
+                    continue
+                n_misses += 1
+                # Inlined L1-miss fast path; _l1_miss is the readable
+                # form (used for retries) and must stay equivalent.
+                waiters = pending_map.get(line)
+                if waiters is not None:
+                    waiters.append(warp)
+                    mshr.merges += 1
+                    continue
+                if len(pending_map) >= mshr.n_entries:
+                    mshr.allocation_failures += 1
+                    pool = self._txn_pool
+                    if pool:
+                        t2 = pool.pop()
+                        t2.stage = _RETRY_L1
+                        t2.core = core
+                        t2.warp = warp
+                        t2.line = line
+                        t2.app_id = app_id
+                    else:
+                        t2 = MemTxn(_RETRY_L1, core, warp, line, app_id)
+                    self._l1_deferred[cid].append(t2)
+                    continue
+                pending_map[line] = [warp]
+                channel = (line // self._interleave) % self._n_channels
+                port = self._req_ports[channel]
+                fa = port.free_at
+                start = now if now > fa else fa
+                cpp = port.cycles_per_packet
+                fa = start + cpp
+                port.free_at = fa
+                port.packets += 1
+                port.busy_cycles += cpp
+                port.queue_cycles += start - now
+                pool = self._txn_pool
+                if pool:
+                    t2 = pool.pop()
+                    t2.stage = _L2_ACCESS
+                    t2.core = core
+                    t2.warp = warp
+                    t2.line = line
+                    t2.app_id = app_id
+                    t2.channel = channel
+                else:
+                    t2 = MemTxn(_L2_ACCESS, core, warp, line, app_id, channel)
+                # Inlined EventQueue.push fast path (engine-scheduled
+                # times are never in the past; overflow is rare).
+                ev = self.events
+                t = fa + port.latency
+                slot = int(t) >> 4
+                if slot - ev._cursor < 1024:
+                    seq = ev._seq
+                    ev._seq = seq + 1
+                    ev._size += 1
+                    heappush(ev._wheel[slot & ev._mask], (t, seq, t2))
+                else:
+                    ev.push(t, t2)
+            cache_stats = l1.stats
+            cache_stats.accesses += n
+            by_app = cache_stats.accesses_by_app
+            by_app[app_id] = by_app.get(app_id, 0) + n
+            stats.l1_accesses += n
+            if n_misses:
+                cache_stats.misses += n_misses
+                by_app = cache_stats.misses_by_app
+                by_app[app_id] = by_app.get(app_id, 0) + n_misses
+                stats.l1_misses += n_misses
+            if n_hits:
+                resp = warp.resp_txn
+                resp.n = n_hits
+                ev = self.events
+                t = now + self._l1_hit_latency
+                slot = int(t) >> 4
+                if slot - ev._cursor < 1024:
+                    seq = ev._seq
+                    ev._seq = seq + 1
+                    ev._size += 1
+                    heappush(ev._wheel[slot & ev._mask], (t, seq, resp))
+                else:
+                    ev.push(t, resp)
+            return
+        if stage == _L1_FILL:
+            core = txn.core
+            cid = core.core_id
+            line = txn.line
+            l1 = self.l1s[cid]
+            if l1.bypass_apps or l1.way_quota:
+                l1.fill(line, txn.app_id)
+            else:
+                # Inlined SetAssocCache.fill fast path (no bypass, no
+                # way quota): install with plain LRU eviction.
+                line_set = l1._sets[(line // l1.line_bytes) % l1.n_sets]
+                if line in line_set:
+                    line_set[line] = line_set.pop(line)
+                else:
+                    if len(line_set) >= l1.assoc:
+                        del line_set[next(iter(line_set))]
+                    line_set[line] = txn.app_id
+            mshr = self.l1_mshrs[cid]
+            for warp in mshr._pending.pop(line, _EMPTY):
+                pending = warp.pending - 1
+                warp.pending = pending
+                if pending == 0:
+                    self.collector.note_mem_request(
+                        warp.app_id, now - warp.issue_time
+                    )
+                    if warp.active:
+                        self._start_warp(core, warp, now)
+                    else:
+                        warp.parked = True
+                elif pending < 0:
+                    raise RuntimeError(
+                        "warp received more responses than requests"
+                    )
+            deferred = self._l1_deferred[cid]
+            if deferred:
+                pending_map = mshr._pending
+                n_entries = mshr.n_entries
+                while deferred and len(pending_map) < n_entries:
+                    self._dispatch(deferred.popleft(), now)
+            self._txn_pool.append(txn)
+            return
+        if stage == _L2_ACCESS:
+            channel = txn.channel
+            app_id = txn.app_id
+            line = txn.line
+            l2 = self.l2s[channel]
+            # Inlined SetAssocCache.access (lookup + statistics).
+            line_set = l2._sets[(line // l2.line_bytes) % l2.n_sets]
+            hit = line in line_set
+            cache_stats = l2.stats
+            cache_stats.accesses += 1
+            by_app = cache_stats.accesses_by_app
+            by_app[app_id] = by_app.get(app_id, 0) + 1
+            stats = self._stats[app_id]
+            stats.l2_accesses += 1
+            if hit:
+                line_set[line] = line_set.pop(line)
+                port = self._resp_ports[channel]
+                t = now + self._l2_hit_latency
+                fa = port.free_at
+                start = t if t > fa else fa
+                cpp = port.cycles_per_packet
+                fa = start + cpp
+                port.free_at = fa
+                port.packets += 1
+                port.busy_cycles += cpp
+                port.queue_cycles += start - t
+                txn.stage = _L1_FILL
+                ev = self.events
+                t = fa + port.latency
+                slot = int(t) >> 4
+                if slot - ev._cursor < 1024:
+                    seq = ev._seq
+                    ev._seq = seq + 1
+                    ev._size += 1
+                    heappush(ev._wheel[slot & ev._mask], (t, seq, txn))
+                else:
+                    ev.push(t, txn)
+                return
+            cache_stats.misses += 1
+            by_app = cache_stats.misses_by_app
+            by_app[app_id] = by_app.get(app_id, 0) + 1
+            stats.l2_misses += 1
+            # Inlined _l2_miss + _to_dram fast paths (the methods remain
+            # the readable form, used by the parked-retry stages).
+            mshr = self.l2_mshrs[channel]
+            pending_map = mshr._pending
+            waiters = pending_map.get(line)
+            if waiters is not None:
+                waiters.append(txn.core)
+                mshr.merges += 1
+                self._txn_pool.append(txn)
+                return
+            if len(pending_map) >= mshr.n_entries:
+                mshr.allocation_failures += 1
+                txn.stage = _RETRY_L2
+                self._l2_deferred[channel].append(txn)
+                return
+            pending_map[line] = [txn.core]
+            chan = self.channels[channel]
+            queue = chan.queue
+            if len(queue) >= chan.capacity:
+                txn.stage = _RETRY_DRAM
+                self._dram_deferred[channel].append(txn)
+                chan.on_dequeue = self._dram_drain_cb[channel]
+                return
+            # Inlined AddressMap.bank_row_of (rows striped across banks).
+            il = self._interleave
+            local = (line // il // self._n_channels) * il + line % il
+            local_row = local // self._row_bytes
+            banks = self._banks_per_channel
+            bank = local_row % banks
+            row = local_row // banks
+            pool = self._req_pool
+            if pool:
+                req = pool.pop()
+                req.line_addr = line
+                req.app_id = app_id
+                req.bank = bank
+                req.row = row
+                req.enqueue_time = now
+                req.callback = self._dram_cb[channel]
+                req.row_hit = False
+            else:
+                req = DRAMRequest(
+                    line, app_id, bank, row, now, self._dram_cb[channel]
+                )
+            # Inlined DRAMChannel.enqueue (capacity already checked).
+            queue.append(req)
+            if not chan._deciding:
+                chan._deciding = True
+                ev = self.events
+                slot = int(now) >> 4
+                if slot - ev._cursor < 1024:
+                    seq = ev._seq
+                    ev._seq = seq + 1
+                    ev._size += 1
+                    heappush(
+                        ev._wheel[slot & ev._mask],
+                        (now, seq, chan._decide_event),
+                    )
+                else:
+                    ev.push(now, chan._decide_event)
+            self._txn_pool.append(txn)
+            return
+        if stage == _WARP_RESP:
+            warp = txn.warp
+            pending = warp.pending - txn.n
+            warp.pending = pending
+            if pending < 0:
+                raise RuntimeError("warp received more responses than requests")
+            if pending == 0:
+                self.collector.note_mem_request(warp.app_id, now - warp.issue_time)
+                if warp.active:
+                    self._start_warp(txn.core, warp, now)
+                else:
+                    warp.parked = True
+            return
+        if stage == _RETRY_L1:
+            self._l1_miss(txn.core, txn.warp, txn.line, now, txn)
+            return
+        if stage == _RETRY_L2:
+            self._l2_miss(txn, now)
+            return
+        if stage == _RETRY_DRAM:
+            self._to_dram(txn, now)
+            return
+        raise RuntimeError(f"unknown transaction stage {stage}")
+
+    # ------------------------------------------------------------------
     # Warp loop
     # ------------------------------------------------------------------
 
     def _start_warp(self, core: Core, warp: Warp, now: float) -> None:
         n_inst, lines = warp.stream.next_request()
-        done = core.issue.request(now, n_inst)
-        self.events.push(
-            done, lambda t: self._compute_done(core, warp, n_inst, lines, t)
-        )
-
-    def _compute_done(
-        self, core: Core, warp: Warp, n_inst: int, lines: list[int], now: float
-    ) -> None:
-        self.collector.note_insts(warp.app_id, n_inst)
-        warp.iterations += 1
-        if not lines:
-            self._iteration_complete(core, warp, now)
-            return
-        warp.pending = len(lines)
-        warp.issue_time = now
-        l1 = self.l1s[core.core_id]
-        n_hits = 0
-        for line in lines:
-            hit = l1.access(line, warp.app_id)
-            self.collector.note_l1(warp.app_id, hit)
-            if hit:
-                n_hits += 1
-            else:
-                self._l1_miss(core, warp, line, now)
-        if n_hits:
-            self.events.push(
-                now + self.config.l1_hit_latency,
-                lambda t: self._warp_responses(core, warp, n_hits, t),
-            )
-
-    def _warp_responses(self, core: Core, warp: Warp, n: int, now: float) -> None:
-        warp.pending -= n
-        if warp.pending < 0:
-            raise RuntimeError("warp received more responses than requests")
-        if warp.pending == 0:
-            self.collector.note_mem_request(warp.app_id, now - warp.issue_time)
-            self._iteration_complete(core, warp, now)
-
-    def _iteration_complete(self, core: Core, warp: Warp, now: float) -> None:
-        if warp.active:
-            self._start_warp(core, warp, now)
+        txn = warp.compute_txn
+        txn.n_inst = n_inst
+        txn.lines = lines
+        # Inlined IssueServer.request (same float operations, in the
+        # same order): shared issue bandwidth plus the 1-IPC per-warp
+        # ceiling.
+        iss = core.issue
+        free_at = iss.free_at
+        start = now if now > free_at else free_at
+        finish = start + n_inst / iss.issue_width
+        iss.free_at = finish
+        min_finish = now + n_inst
+        ev = self.events
+        t = finish if finish > min_finish else min_finish
+        slot = int(t) >> 4
+        if slot - ev._cursor < 1024:
+            seq = ev._seq
+            ev._seq = seq + 1
+            ev._size += 1
+            heappush(ev._wheel[slot & ev._mask], (t, seq, txn))
         else:
-            warp.parked = True
+            ev.push(t, txn)
 
     # ------------------------------------------------------------------
     # Memory hierarchy
     # ------------------------------------------------------------------
 
-    def _l1_miss(self, core: Core, warp: Warp, line: int, now: float) -> None:
-        status = self.l1_mshrs[core.core_id].allocate(line, warp)
-        if status == "merged":
-            return
-        if status == "full":
-            # Back-pressure: park the access; it is re-driven when a fill
-            # frees an MSHR entry (see _l1_fill).
-            self._l1_deferred[core.core_id].append(
-                lambda t: self._l1_miss(core, warp, line, t)
-            )
-            return
-        channel = self.addr_map.channel_of(line)
-        arrive = self.crossbar.send_request(channel, now)
-        self.events.push(
-            arrive, lambda t: self._l2_access(channel, core, line, warp.app_id, t)
-        )
-
-    def _l2_access(
-        self, channel: int, core: Core, line: int, app_id: int, now: float
+    def _l1_miss(
+        self, core: Core, warp: Warp, line: int, now: float, txn: MemTxn | None
     ) -> None:
-        l2 = self.l2s[channel]
-        hit = l2.access(line, app_id)
-        self.collector.note_l2(app_id, hit)
-        if hit:
-            deliver = self.crossbar.send_response(
-                channel, now + self.config.l2_hit_latency
-            )
-            self.events.push(deliver, lambda t: self._l1_fill(core, line, app_id, t))
-            return
-        self._l2_miss(channel, core, line, app_id, now)
+        """Allocate an L1 miss; forward to L2 or park under backpressure.
 
-    def _l2_miss(
-        self, channel: int, core: Core, line: int, app_id: int, now: float
-    ) -> None:
-        """Allocate the L2 miss and send it to DRAM (access already counted)."""
-        status = self.l2_mshrs[channel].allocate(line, core)
-        if status == "merged":
+        ``txn`` is the transaction being retried from a deferred queue,
+        or None on the first attempt (allocated lazily so merged misses
+        cost nothing).
+        """
+        mshr = self.l1_mshrs[core.core_id]
+        pending_map = mshr._pending
+        waiters = pending_map.get(line)
+        if waiters is not None:
+            waiters.append(warp)
+            mshr.merges += 1
+            if txn is not None:
+                self._txn_pool.append(txn)
             return
-        if status == "full":
-            self._l2_deferred[channel].append(
-                lambda t: self._l2_miss(channel, core, line, app_id, t)
-            )
+        if len(pending_map) >= mshr.n_entries:
+            # Back-pressure: park the transaction; it is re-driven when
+            # a fill frees an MSHR entry (see the L1_FILL stage).
+            mshr.allocation_failures += 1
+            if txn is None:
+                txn = MemTxn(_RETRY_L1, core, warp, line, warp.app_id)
+            else:
+                txn.stage = _RETRY_L1
+            self._l1_deferred[core.core_id].append(txn)
             return
-        self._to_dram(channel, line, app_id, now)
+        pending_map[line] = [warp]
+        channel = (line // self._interleave) % self._n_channels
+        port = self._req_ports[channel]
+        fa = port.free_at
+        start = now if now > fa else fa
+        cpp = port.cycles_per_packet
+        fa = start + cpp
+        port.free_at = fa
+        port.packets += 1
+        port.busy_cycles += cpp
+        port.queue_cycles += start - now
+        if txn is None:
+            txn = MemTxn(_L2_ACCESS, core, warp, line, warp.app_id, channel)
+        else:
+            txn.stage = _L2_ACCESS
+            txn.channel = channel
+        self._push(fa + port.latency, txn)
 
-    def _to_dram(self, channel: int, line: int, app_id: int, now: float) -> None:
-        """Enqueue at the channel, deferring while its queue is full."""
-        if self.channels[channel].is_full:
-            self._dram_deferred[channel].append(
-                lambda t: self._to_dram(channel, line, app_id, t)
-            )
+    def _l2_miss(self, txn: MemTxn, now: float) -> None:
+        """Allocate the L2 miss and send it to DRAM (access already counted).
+
+        The MSHR bookkeeping is the inline form of
+        :meth:`MSHRTable.allocate`; a merged transaction has served its
+        purpose and is recycled.
+        """
+        channel = txn.channel
+        mshr = self.l2_mshrs[channel]
+        pending_map = mshr._pending
+        line = txn.line
+        waiters = pending_map.get(line)
+        if waiters is not None:
+            waiters.append(txn.core)
+            mshr.merges += 1
+            self._txn_pool.append(txn)
             return
-        bank, row = self.addr_map.bank_row_of(line)
-        request = DRAMRequest(
-            line_addr=line,
-            app_id=app_id,
-            bank=bank,
-            row=row,
-            enqueue_time=now,
-            callback=lambda req, t, ch=channel: self._dram_done(ch, req, t),
-        )
-        self.channels[channel].enqueue(request, now)
+        if len(pending_map) >= mshr.n_entries:
+            mshr.allocation_failures += 1
+            txn.stage = _RETRY_L2
+            self._l2_deferred[channel].append(txn)
+            return
+        pending_map[line] = [txn.core]
+        self._to_dram(txn, now)
+
+    def _to_dram(self, txn: MemTxn, now: float) -> None:
+        """Enqueue at the channel, deferring while its queue is full.
+
+        The transaction's journey ends here: its identity is carried
+        onward by a (pooled) :class:`DRAMRequest`, so it is recycled.
+        """
+        channel = txn.channel
+        chan = self.channels[channel]
+        if len(chan.queue) >= chan.capacity:
+            txn.stage = _RETRY_DRAM
+            self._dram_deferred[channel].append(txn)
+            chan.on_dequeue = self._dram_drain_cb[channel]
+            return
+        line = txn.line
+        bank, row = self._bank_row_of(line)
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.line_addr = line
+            req.app_id = txn.app_id
+            req.bank = bank
+            req.row = row
+            req.enqueue_time = now
+            req.callback = self._dram_cb[channel]
+            req.row_hit = False
+        else:
+            req = DRAMRequest(
+                line, txn.app_id, bank, row, now, self._dram_cb[channel]
+            )
+        chan.enqueue(req, now)
+        self._txn_pool.append(txn)
 
     def _drain_dram_deferred(self, channel: int, now: float) -> None:
+        """Re-drive parked L2 misses while the channel queue has room.
+
+        Drains in a loop (like the MSHR deferred queues): a single
+        dequeue usually frees one slot, but bypass/quota paths and
+        bursty dequeues can leave several slots open at once, and a
+        parked request must never wait while capacity exists.
+        """
         deferred = self._dram_deferred[channel]
-        if deferred and not self.channels[channel].is_full:
-            deferred.popleft()(now)
+        chan = self.channels[channel]
+        queue = chan.queue
+        capacity = chan.capacity
+        while deferred and len(queue) < capacity:
+            self._dispatch(deferred.popleft(), now)
+        if not deferred:
+            chan.on_dequeue = None
 
     def _dram_done(self, channel: int, request: DRAMRequest, now: float) -> None:
-        self.collector.note_dram(request.app_id, request.row_hit)
-        self.l2s[channel].fill(request.line_addr, request.app_id)
-        for core in self.l2_mshrs[channel].release(request.line_addr):
-            deliver = self.crossbar.send_response(channel, now)
-            self.events.push(
-                deliver,
-                lambda t, c=core: self._l1_fill(c, request.line_addr, request.app_id, t),
-            )
-        self._drain_deferred(
-            self._l2_deferred[channel], self.l2_mshrs[channel], now
-        )
-
-    def _l1_fill(self, core: Core, line: int, app_id: int, now: float) -> None:
-        self.l1s[core.core_id].fill(line, app_id)
-        for warp in self.l1_mshrs[core.core_id].release(line):
-            self._warp_responses(core, warp, 1, now)
-        self._drain_deferred(
-            self._l1_deferred[core.core_id], self.l1_mshrs[core.core_id], now
-        )
-
-    @staticmethod
-    def _drain_deferred(
-        deferred: deque[Callable[[float], None]], mshr: MSHRTable, now: float
-    ) -> None:
-        """Re-drive parked accesses while the MSHR table has free entries."""
-        while deferred and len(mshr) < mshr.n_entries:
-            deferred.popleft()(now)
+        stats = self._stats[request.app_id]
+        stats.dram_lines += 1
+        if request.row_hit:
+            stats.row_hits += 1
+        else:
+            stats.row_misses += 1
+        line = request.line_addr
+        app_id = request.app_id
+        l2 = self.l2s[channel]
+        if l2.bypass_apps or l2.way_quota:
+            l2.fill(line, app_id)
+        else:
+            # Inlined SetAssocCache.fill fast path (see the L1_FILL
+            # stage).
+            line_set = l2._sets[(line // l2.line_bytes) % l2.n_sets]
+            if line in line_set:
+                line_set[line] = line_set.pop(line)
+            else:
+                if len(line_set) >= l2.assoc:
+                    del line_set[next(iter(line_set))]
+                line_set[line] = app_id
+        port = self._resp_ports[channel]
+        ev = self.events
+        txn_pool = self._txn_pool
+        mshr = self.l2_mshrs[channel]
+        for core in mshr._pending.pop(line, _EMPTY):
+            fa = port.free_at
+            start = now if now > fa else fa
+            cpp = port.cycles_per_packet
+            fa = start + cpp
+            port.free_at = fa
+            port.packets += 1
+            port.busy_cycles += cpp
+            port.queue_cycles += start - now
+            if txn_pool:
+                t2 = txn_pool.pop()
+                t2.stage = _L1_FILL
+                t2.core = core
+                t2.warp = None
+                t2.line = line
+                t2.app_id = app_id
+            else:
+                t2 = MemTxn(_L1_FILL, core, None, line, app_id)
+            t = fa + port.latency
+            slot = int(t) >> 4
+            if slot - ev._cursor < 1024:
+                seq = ev._seq
+                ev._seq = seq + 1
+                ev._size += 1
+                heappush(ev._wheel[slot & ev._mask], (t, seq, t2))
+            else:
+                ev.push(t, t2)
+        deferred = self._l2_deferred[channel]
+        if deferred:
+            pending_map = mshr._pending
+            n_entries = mshr.n_entries
+            while deferred and len(pending_map) < n_entries:
+                self._dispatch(deferred.popleft(), now)
+        self._req_pool.append(request)
 
     # ------------------------------------------------------------------
     # Run control
@@ -420,16 +1015,7 @@ class Simulator:
         for app_id in range(len(self.apps)):
             self.set_tlp(app_id, initial_tlp.get(app_id, self.config.max_tlp))
 
-        # Snapshot per-channel busy cycles at the start of measurement so
-        # dram_utilization, like every other reported metric, covers only
-        # the measured (post-warmup) region.
-        busy_at_measurement = [0.0] * len(self.channels)
-
-        def _begin_measurement(t: float) -> None:
-            self.collector.start_measurement(t)
-            busy_at_measurement[:] = [ch.busy_cycles for ch in self.channels]
-
-        self.events.push(float(warmup), _begin_measurement)
+        self.events.push(float(warmup), self._begin_measurement)
 
         if self.controller is not None:
             self.controller.start(self, 0.0)
@@ -441,7 +1027,7 @@ class Simulator:
         measured = float(max_cycles) - warmup
         busy = sum(
             ch.busy_cycles - base
-            for ch, base in zip(self.channels, busy_at_measurement)
+            for ch, base in zip(self.channels, self._busy_at_measurement)
         )
         return SimResult(
             samples=samples,
@@ -451,6 +1037,13 @@ class Simulator:
             final_tlp=dict(self.current_tlp),
             dram_utilization=busy / (measured * len(self.channels)),
         )
+
+    def _begin_measurement(self, now: float) -> None:
+        """End of warmup: snapshot counters and per-channel busy cycles
+        so dram_utilization, like every other reported metric, covers
+        only the measured (post-warmup) region."""
+        self.collector.start_measurement(now)
+        self._busy_at_measurement = [ch.busy_cycles for ch in self.channels]
 
     def _schedule_controller_window(self, when: float) -> None:
         self.events.push(when, self._controller_window)

@@ -24,6 +24,9 @@ __all__ = ["Link", "Crossbar"]
 class Link:
     """A rate-limited, fixed-latency FIFO link."""
 
+    __slots__ = ("latency", "cycles_per_packet", "free_at", "packets",
+                 "busy_cycles", "queue_cycles")
+
     def __init__(self, latency: float, cycles_per_packet: float) -> None:
         if cycles_per_packet <= 0:
             raise ValueError("cycles_per_packet must be positive")
@@ -52,6 +55,8 @@ class Crossbar:
 
     #: data-bus width of one crossbar port, bytes per cycle
     PORT_BYTES_PER_CYCLE = 32
+
+    __slots__ = ("request_ports", "response_ports")
 
     def __init__(self, config: GPUConfig) -> None:
         rate = config.icnt_flits_per_cycle_per_port

@@ -10,14 +10,18 @@ derived the same way the hardware PBS unit would compute them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 __all__ = ["AppStats", "WindowSample", "StatsCollector"]
 
 
-@dataclass
+@dataclass(slots=True)
 class AppStats:
-    """Cumulative counters for one application."""
+    """Cumulative counters for one application.
+
+    Slotted: the engine increments these fields inline on every event,
+    so the accumulator is kept a fixed-layout record.
+    """
 
     insts: int = 0
     l1_accesses: int = 0
@@ -31,12 +35,15 @@ class AppStats:
     row_misses: int = 0
 
     def copy(self) -> "AppStats":
-        return AppStats(**self.__dict__)
+        return AppStats(*(getattr(self, f) for f in _APP_STAT_FIELDS))
 
     def delta(self, earlier: "AppStats") -> "AppStats":
         return AppStats(
-            **{k: getattr(self, k) - getattr(earlier, k) for k in self.__dict__}
+            *(getattr(self, f) - getattr(earlier, f) for f in _APP_STAT_FIELDS)
         )
+
+
+_APP_STAT_FIELDS = tuple(f.name for f in fields(AppStats))
 
 
 @dataclass(frozen=True)

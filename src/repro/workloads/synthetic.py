@@ -156,8 +156,19 @@ class CoreStream:
 class WarpAddressStream:
     """Generates (instruction count, line addresses) iterations for a warp.
 
-    Implements the :class:`repro.sim.core.WarpStream` protocol.
+    Implements the :class:`repro.sim.core.WarpStream` protocol.  The
+    profile's (frozen) parameters and the RNG's bound methods are cached
+    at construction: ``next_request`` runs once per warp-loop iteration,
+    on the engine's hot path.  The sequence of RNG draws is part of the
+    deterministic stream definition and must not change.
     """
+
+    __slots__ = (
+        "profile", "line_bytes", "shared_base", "core_stream", "rng",
+        "_ring", "_ring_pos", "_random", "_randrange", "_inst_gap",
+        "_gap_jitter", "_gap_lo", "_p_reuse", "_p_seq", "_shared_frac",
+        "_shared_lines", "_stream_lines", "_divergent", "_coalesce",
+    )
 
     def __init__(
         self,
@@ -172,6 +183,18 @@ class WarpAddressStream:
         self.shared_base = shared_base
         self.core_stream = core_stream
         self.rng = rng
+        self._random = rng.random
+        self._randrange = rng.randrange
+        self._inst_gap = profile.inst_gap
+        self._gap_jitter = profile.gap_jitter
+        self._gap_lo = 1.0 - profile.gap_jitter / 2.0
+        self._p_reuse = profile.p_reuse
+        self._p_seq = profile.p_seq
+        self._shared_frac = profile.shared_frac
+        self._shared_lines = profile.shared_lines
+        self._stream_lines = profile.stream_lines
+        self._divergent = profile.divergent
+        self._coalesce = profile.coalesce
         # Pre-populate the reuse ring so temporal locality is stationary
         # from the first access: an empty ring would make early windows
         # look far more cache-friendly than steady state (the ring takes
@@ -184,51 +207,60 @@ class WarpAddressStream:
 
     # --- internals -----------------------------------------------------
 
-    def _remember(self, line: int) -> None:
-        ring = self._ring
-        if len(ring) < self.profile.footprint_lines:
-            ring.append(line)
-        else:
-            ring[self._ring_pos] = line
-            self._ring_pos = (self._ring_pos + 1) % len(ring)
-
     def _one_line(self) -> int:
-        """Pick one line address according to the locality mix."""
-        p = self.profile
-        rng = self.rng
-        r = rng.random()
-        if r < p.p_reuse and self._ring:
-            return self._ring[rng.randrange(len(self._ring))]
-        r -= p.p_reuse
-        if r < p.p_seq:
-            line = self.core_stream.next_line()
-            self._remember(line)
-            return line
-        r -= p.p_seq
-        if r < p.shared_frac:
-            return self.shared_base + rng.randrange(p.shared_lines) * self.line_bytes
-        # Random jump within the core's streaming region; sequential
-        # accesses continue from the jump target (row locality resumes).
-        self.core_stream.jump(rng.randrange(p.stream_lines))
-        line = self.core_stream.next_line()
-        self._remember(line)
+        """Pick one line address according to the locality mix.
+
+        The ring is created full, so remembering a line is always an
+        in-place overwrite at the ring cursor.
+        """
+        r = self._random()
+        ring = self._ring
+        if r < self._p_reuse and ring:
+            return ring[self._randrange(len(ring))]
+        r -= self._p_reuse
+        cs = self.core_stream
+        if r < self._p_seq:
+            pass
+        else:
+            r -= self._p_seq
+            if r < self._shared_frac:
+                return (
+                    self.shared_base
+                    + self._randrange(self._shared_lines) * self.line_bytes
+                )
+            # Random jump within the core's streaming region; sequential
+            # accesses continue from the jump target (row locality
+            # resumes).
+            cs._offset = self._randrange(self._stream_lines) % cs.n_lines
+        # Inlined CoreStream.next_line: advance the shared cursor.
+        offset = cs._offset
+        line = cs.base + offset * cs.line_bytes
+        offset += 1
+        cs._offset = 0 if offset >= cs.n_lines else offset
+        pos = self._ring_pos
+        ring[pos] = line
+        self._ring_pos = (pos + 1) % len(ring)
         return line
 
     # --- WarpStream protocol ----------------------------------------------
 
     def next_request(self) -> tuple[int, list[int]]:
-        p = self.profile
-        gap = p.inst_gap
-        if p.gap_jitter:
-            lo = 1.0 - p.gap_jitter / 2.0
-            gap = max(1, int(gap * (lo + p.gap_jitter * self.rng.random())))
-        if p.divergent:
+        gap = self._inst_gap
+        jitter = self._gap_jitter
+        if jitter:
+            gap = max(1, int(gap * (self._gap_lo + jitter * self._random())))
+        if self._divergent:
             lines: list[int] = []
-            for _ in range(p.coalesce):
+            for _ in range(self._coalesce):
                 line = self._one_line()
                 if line not in lines:
                     lines.append(line)
         else:
             first = self._one_line()
-            lines = [first + i * self.line_bytes for i in range(p.coalesce)]
+            coalesce = self._coalesce
+            if coalesce == 1:
+                lines = [first]
+            else:
+                line_bytes = self.line_bytes
+                lines = [first + i * line_bytes for i in range(coalesce)]
         return gap, lines

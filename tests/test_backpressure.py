@@ -12,7 +12,7 @@ import pytest
 from repro.config import small_config
 from repro.sim.address import AddressMap
 from repro.sim.dram import DRAMChannel, DRAMRequest
-from repro.sim.engine import EventQueue, Simulator
+from repro.sim.engine import EventQueue, MemTxn, Simulator
 from repro.workloads.table4 import app_by_abbr
 
 
@@ -92,3 +92,33 @@ class TestDRAMQueueBound:
         sim = Simulator(cfg, [app_by_abbr("LUD")], core_split=(1,), seed=3)
         sim.run(8000, warmup=2000, initial_tlp={0: 2})
         assert all(len(d) == 0 for d in sim._dram_deferred)
+
+    def test_drain_redrives_every_parked_request_capacity_allows(self):
+        """A single drain call must fill every free slot, not just one.
+
+        Saturate a depth-4 channel queue, park four more misses behind
+        it, then free all four slots at once: one drain pass must
+        re-drive all four parked requests — none may stay parked while
+        capacity exists.
+        """
+        cfg = small_config().with_(dram_queue_depth=4)
+        sim = Simulator(cfg, [app_by_abbr("BLK")], core_split=(1,), seed=3)
+        amap = sim.addr_map
+        lines = [
+            a * cfg.line_bytes
+            for a in range(64 * cfg.n_channels)
+            if amap.channel_of(a * cfg.line_bytes) == 0
+        ][:8]
+        assert len(lines) == 8, "need 8 channel-0 lines to saturate"
+        for line in lines:
+            sim._to_dram(MemTxn(line=line, app_id=0, channel=0), 0.0)
+        channel = sim.channels[0]
+        assert channel.is_full
+        assert len(sim._dram_deferred[0]) == 4
+        # A burst of dequeues frees every slot before the drain runs.
+        channel.queue.clear()
+        sim._drain_dram_deferred(0, 0.0)
+        assert len(sim._dram_deferred[0]) == 0, (
+            "requests left parked while the channel queue had capacity"
+        )
+        assert channel.queue_depth == 4

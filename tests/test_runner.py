@@ -145,6 +145,43 @@ class TestEvaluateScheme:
         assert len(ALL_SCHEMES) == 17
 
 
+class TestWayQuotaPlumbing:
+    def test_quota_threads_through_to_run_combo(self, alone, surface):
+        """evaluate_scheme(l2_way_quota=...) must behave exactly like a
+        direct run_combo with the same quota (it was silently dropped
+        before the plumbing fix)."""
+        quota = {0: 2}
+        r = evaluate_scheme(CFG, APPS, "maxtlp", alone, surface,
+                            lengths=LENGTHS, seed=2, l2_way_quota=quota)
+        direct = run_combo(
+            CFG, APPS, r.combo, LENGTHS.eval_cycles, LENGTHS.eval_warmup,
+            seed=2, l2_way_quota=quota,
+        )
+        for a in (0, 1):
+            assert r.result.samples[a].insts == direct.samples[a].insts
+            assert r.result.samples[a].bw == direct.samples[a].bw
+            assert r.result.samples[a].eb == direct.samples[a].eb
+
+    def test_quota_changes_the_outcome(self, alone, surface):
+        plain = evaluate_scheme(CFG, APPS, "maxtlp", alone, surface,
+                                lengths=LENGTHS, seed=2)
+        quota = evaluate_scheme(CFG, APPS, "maxtlp", alone, surface,
+                                lengths=LENGTHS, seed=2,
+                                l2_way_quota={0: 1})
+        assert any(
+            plain.result.samples[a].insts != quota.result.samples[a].insts
+            for a in (0, 1)
+        ), "a one-way L2 quota must perturb at least one app's progress"
+
+    def test_quota_disables_surface_reuse(self, alone, surface):
+        r = evaluate_scheme(CFG, APPS, "opt-ws", alone, surface,
+                            lengths=LENGTHS, seed=2, l2_way_quota={0: 2})
+        assert r.result is not surface[r.combo], (
+            "surfaces are profiled without way partitioning; a "
+            "quota-constrained evaluation must simulate afresh"
+        )
+
+
 class TestSchemeResult:
     def test_from_result_computes_sds(self, alone, surface):
         result = surface[(8, 8)]
