@@ -18,7 +18,11 @@ from pathlib import Path
 from repro.devtools.context import FileContext, ProjectContext
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.registry import all_rules
-from repro.devtools.suppressions import filter_suppressed, line_suppressions
+from repro.devtools.suppressions import (
+    expand_statement_suppressions,
+    filter_suppressed,
+    line_suppressions,
+)
 
 __all__ = [
     "lint_paths",
@@ -94,8 +98,17 @@ def lint_paths(
     *,
     root: Path | None = None,
     select: Sequence[str] | None = None,
+    semantic_cache: bool = True,
+    _project_out: list[ProjectContext] | None = None,
 ) -> list[Finding]:
-    """Lint ``paths`` (files or directories), returning sorted findings."""
+    """Lint ``paths`` (files or directories), returning sorted findings.
+
+    ``semantic_cache=False`` disables the per-file analysis cache under
+    ``<root>/.lint-cache/`` (the semantic rules then re-summarize every
+    file).  ``_project_out``, when given, receives the built
+    :class:`ProjectContext` so the CLI can reuse the memoized project
+    graph for ``--graph`` without a second build.
+    """
     path_objs = [Path(p) for p in paths]
     if root is None:
         root = find_root(path_objs[0] if path_objs else Path.cwd())
@@ -111,7 +124,10 @@ def lint_paths(
             contexts.append(parsed)
 
     suppressions = {
-        str(ctx.relpath): line_suppressions(ctx.lines) for ctx in contexts
+        str(ctx.relpath): expand_statement_suppressions(
+            line_suppressions(ctx.lines), ctx.tree
+        )
+        for ctx in contexts
     }
     for ctx in contexts:
         for rule in rules:
@@ -124,6 +140,10 @@ def lint_paths(
             )
 
     project = ProjectContext(root=root, files=contexts)
+    if not semantic_cache:
+        project.semantic_cache_path = None  # type: ignore[attr-defined]
+    if _project_out is not None:
+        _project_out.append(project)
     for rule in rules:
         if rule.scope != "project":
             continue
@@ -196,6 +216,39 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="re-pin the cached-result schema fingerprint (after a "
         "deliberate CACHE_FORMAT bump) and exit",
     )
+    parser.add_argument(
+        "--types",
+        action="store_true",
+        help="additionally run the mypy baseline ratchet over the "
+        "typed-core packages (skipped with a notice if mypy is not "
+        "installed; see docs/devtools.md)",
+    )
+    parser.add_argument(
+        "--update-type-baseline",
+        action="store_true",
+        help="with --types: rewrite the checked-in mypy baseline to the "
+        "current diagnostics instead of failing on drift",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the project import/call graph and the MemTxn "
+        "stage-transition graph as JSON (see --graph-dir)",
+    )
+    parser.add_argument(
+        "--graph-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for --graph artifacts "
+        "(default: <root>/results/lint)",
+    )
+    parser.add_argument(
+        "--no-semantic-cache",
+        action="store_true",
+        help="disable the per-file semantic analysis cache "
+        "(<root>/.lint-cache/)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -234,20 +287,86 @@ def run(args: argparse.Namespace) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    files = iter_python_files([Path(p) for p in args.paths])
+    if not files:
+        print(
+            "error: no Python files found under: "
+            + ", ".join(str(p) for p in args.paths),
+            file=sys.stderr,
+        )
+        return 2
+
     select = None
     if args.select:
         select = [s.strip().upper() for s in args.select.split(",") if s.strip()]
+    project_out: list[ProjectContext] = []
     try:
-        findings = lint_paths(args.paths, root=root, select=select)
+        findings = lint_paths(
+            args.paths,
+            root=root,
+            select=select,
+            semantic_cache=not args.no_semantic_cache,
+            _project_out=project_out,
+        )
     except ValueError as exc:  # unknown --select ids
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    n_files = len(iter_python_files([Path(p) for p in args.paths]))
     render = _render_json if args.format == "json" else _render_text
-    print(render(findings, n_files))
+    print(render(findings, len(files)))
     has_errors = any(f.severity is Severity.ERROR for f in findings)
-    return 1 if has_errors else 0
+    status = 1 if has_errors else 0
+
+    if args.graph and project_out:
+        written = _dump_graphs(project_out[0], args.graph_dir)
+        for path in written:
+            print(f"graph: wrote {path}")
+
+    if args.types:
+        from repro.devtools.semantic.typegate import run_type_gate
+
+        gate = run_type_gate(
+            root or find_root(Path.cwd()),
+            update_baseline=args.update_type_baseline,
+        )
+        for message in gate.messages:
+            print(message)
+        if not gate.ok:
+            status = max(status, 1)
+
+    return status
+
+
+def _dump_graphs(project: ProjectContext, graph_dir: Path | None) -> list[Path]:
+    """Write the ``--graph`` JSON artifacts; returns the written paths.
+
+    Artifacts go through :func:`repro.obs.io.atomic_write_text` — the
+    default location is under ``results/``, where rule R006 reserves
+    writes for the atomic helpers.
+    """
+    from repro.obs.io import atomic_write_text
+
+    from repro.devtools.semantic.graph import graph_for_project
+    from repro.devtools.semantic.lifecycle import analyze_engine
+
+    out_dir = graph_dir if graph_dir is not None else project.root / "results" / "lint"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    graph = graph_for_project(project)
+    graph_path = out_dir / "project_graph.json"
+    atomic_write_text(graph_path, json.dumps(graph.to_dict(), indent=2) + "\n")
+    written.append(graph_path)
+
+    engine_ctx = project.file_for("src/repro/sim/engine.py")
+    if engine_ctx is not None:
+        analysis = analyze_engine(engine_ctx.tree)
+        stage_path = out_dir / "stage_graph.json"
+        atomic_write_text(
+            stage_path, json.dumps(analysis.to_dict(), indent=2) + "\n"
+        )
+        written.append(stage_path)
+    return written
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -4,6 +4,10 @@ Importing this package registers every rule with
 :mod:`repro.devtools.registry`.  Add a rule by creating a module here
 that defines a :class:`~repro.devtools.registry.LintRule` subclass
 decorated with ``@register``, and importing it below.
+
+The per-file rules (R001–R008) live in this package; the whole-program
+semantic rules (R009–R011) live in :mod:`repro.devtools.semantic` and
+are imported here for the same register-on-import effect.
 """
 
 from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
@@ -16,6 +20,11 @@ from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
     noprint,
     picklability,
 )
+from repro.devtools.semantic import (  # noqa: F401  (import-for-effect)
+    lifecycle,
+    races,
+    typedcore,
+)
 
 __all__ = [
     "determinism",
@@ -26,4 +35,7 @@ __all__ = [
     "atomic_write",
     "noprint",
     "hotpath",
+    "lifecycle",
+    "races",
+    "typedcore",
 ]

@@ -1,0 +1,341 @@
+"""Per-file semantic summaries: the cacheable unit of whole-program analysis.
+
+A :class:`FileSummary` is everything the cross-file passes need to know
+about one source file, extracted in a single AST walk and serializable
+as plain JSON (so :class:`~repro.devtools.semantic.cache.AnalysisCache`
+can key it by content hash):
+
+* the import map (local alias -> dotted target), which the graph
+  builder chases through package facades;
+* every function/method definition, with the calls it makes, the
+  function references it passes as arguments (``run_jobs(worker, ...)``,
+  ``partial(f, ...)``), the module-level names it mutates, and the file
+  writes it performs;
+* the module-level *mutable* bindings (dict/list/set displays and
+  constructor calls) — the state the R010 race detector cares about.
+
+Resolution is deliberately deferred: a summary records ``self.foo`` and
+``mod.bar`` textually; :mod:`repro.devtools.semantic.graph` resolves
+them against the whole project, so editing one file never invalidates
+another file's summary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FileSummary", "FunctionInfo", "summarize_file"]
+
+#: Methods that mutate their receiver in place (dict/list/set/deque).
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+    "appendleft", "extendleft", "__setitem__",
+})
+
+#: Constructor calls whose result is module-level mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque",
+})
+
+#: ``open`` modes that write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, flattened.
+
+    ``qualname`` is ``"f"`` for module-level functions and
+    ``"Class.method"`` for methods.  Events from *nested* functions are
+    folded into the enclosing definition: for reachability purposes the
+    outer function is the unit that runs.
+    """
+
+    qualname: str
+    lineno: int
+    #: calls made: ``{"name": "self.push" | "mod.f" | "f", "line": int,
+    #: "arg_refs": ["dotted", ...]}`` — arg_refs are Name/Attribute
+    #: arguments, recorded so worker functions handed to
+    #: ``run_jobs``/``submit``/``partial`` can be resolved later.
+    calls: list[dict[str, Any]] = field(default_factory=list)
+    #: in-place mutations of dotted targets: ``{"target": "X" | "mod.X",
+    #: "op": "method" | "subscript" | "augassign" | "global-assign",
+    #: "method": "append" | None, "line": int}``
+    mutations: list[dict[str, Any]] = field(default_factory=list)
+    #: file-writing operations: ``{"kind": "open" | "write_text" |
+    #: "write_bytes", "line": int}``
+    writes: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "calls": self.calls,
+            "mutations": self.mutations,
+            "writes": self.writes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "FunctionInfo":
+        return cls(
+            qualname=doc["qualname"],
+            lineno=doc["lineno"],
+            calls=list(doc.get("calls", ())),
+            mutations=list(doc.get("mutations", ())),
+            writes=list(doc.get("writes", ())),
+        )
+
+
+@dataclass
+class FileSummary:
+    """The semantic summary of one source file."""
+
+    module: str  #: dotted module name (``repro.exec.pool``)
+    path: str  #: repo-relative path, for findings
+    #: local alias -> dotted target; from-imports record the full object
+    #: path (``run_jobs`` -> ``repro.exec.pool.run_jobs``), plain
+    #: imports the module (``np`` -> ``numpy``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to mutable displays/constructors.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: qualname -> info, for every function and method in the file.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> method names (for method resolution).
+    classes: dict[str, list[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "imports": self.imports,
+            "mutable_globals": self.mutable_globals,
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": self.classes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "FileSummary":
+        return cls(
+            module=doc["module"],
+            path=doc["path"],
+            imports=dict(doc.get("imports", {})),
+            mutable_globals=dict(doc.get("mutable_globals", {})),
+            functions={
+                q: FunctionInfo.from_dict(f)
+                for q, f in doc.get("functions", {}).items()
+            },
+            classes={k: list(v) for k, v in doc.get("classes", {}).items()},
+        )
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string, for Name/Attribute chains (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func)
+        if name is not None and name.split(".")[-1] in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+def _open_writes(call: ast.Call) -> bool:
+    """Does this ``open(...)`` call open for writing?"""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in _WRITE_MODE_CHARS for c in mode.value)
+    return True  # dynamic mode: assume it can write
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Collect one definition's calls/mutations/writes (nested defs
+    flattened into the same :class:`FunctionInfo`)."""
+
+    def __init__(self, info: FunctionInfo, class_names: set[str]) -> None:
+        self.info = info
+        self.class_names = class_names
+        #: local name -> class name it was constructed from
+        #: (``sim = Simulator(...)`` => ``{"sim": "Simulator"}``), for
+        #: one-level method-call resolution.
+        self._constructed: dict[str, str] = {}
+        self._globals: set[str] = set()
+
+    # -- declarations --------------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._globals.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            callee = _dotted(value.func)
+            if callee in self.class_names:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._constructed[target.id] = callee
+        for target in node.targets:
+            self._note_store(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name) and target.id in self._globals:
+            self.info.mutations.append({
+                "target": target.id, "op": "augassign", "method": None,
+                "line": node.lineno,
+            })
+        else:
+            self._note_store(target)
+        self.generic_visit(node)
+
+    def _note_store(self, target: ast.expr) -> None:
+        """Record stores that mutate a named container or a global."""
+        if isinstance(target, ast.Subscript):
+            dotted = _dotted(target.value)
+            if dotted is not None and not dotted.startswith("self."):
+                self.info.mutations.append({
+                    "target": dotted, "op": "subscript", "method": None,
+                    "line": target.lineno,
+                })
+        elif isinstance(target, ast.Name) and target.id in self._globals:
+            self.info.mutations.append({
+                "target": target.id, "op": "global-assign", "method": None,
+                "line": target.lineno,
+            })
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._note_store(target)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = _dotted(func)
+        if name is not None:
+            head, _, tail = name.partition(".")
+            if head in self._constructed and tail:
+                name = f"{self._constructed[head]}.{tail}"
+            arg_refs = []
+            for arg in node.args:
+                ref = _dotted(arg)
+                if ref is not None:
+                    arg_refs.append(ref)
+            for kw in node.keywords:
+                ref = _dotted(kw.value)
+                if ref is not None:
+                    arg_refs.append(ref)
+            self.info.calls.append({
+                "name": name, "line": node.lineno, "arg_refs": arg_refs,
+            })
+            last = name.split(".")[-1]
+            if last in _MUTATING_METHODS and "." in name:
+                receiver = name.rsplit(".", 1)[0]
+                if not receiver.startswith("self."):
+                    self.info.mutations.append({
+                        "target": receiver, "op": "method", "method": last,
+                        "line": node.lineno,
+                    })
+            if last == "open" and _open_writes(node):
+                self.info.writes.append({"kind": "open", "line": node.lineno})
+            elif last in ("write_text", "write_bytes"):
+                self.info.writes.append({"kind": last, "line": node.lineno})
+        self.generic_visit(node)
+
+
+def _walk_definition(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    class_names: set[str],
+) -> FunctionInfo:
+    info = FunctionInfo(qualname=qualname, lineno=node.lineno)
+    walker = _FunctionWalker(info, class_names)
+    for stmt in node.body:
+        walker.visit(stmt)
+    return info
+
+
+def summarize_file(module: str, path: str, tree: ast.Module) -> FileSummary:
+    """Extract the :class:`FileSummary` of one parsed source file."""
+    summary = FileSummary(module=module, path=path)
+
+    class_names: set[str] = {
+        n.name for n in tree.body if isinstance(n, ast.ClassDef)
+    }
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                summary.imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this tree
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                summary.imports[local] = f"{node.module}.{alias.name}"
+            # A from-import also marks imported *classes* as resolvable
+            # constructor names for one-level method resolution.
+            class_names.update(
+                alias.asname or alias.name
+                for alias in node.names
+                if alias.name[:1].isupper()
+            )
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_mutable_value(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    summary.mutable_globals[target.id] = stmt.lineno
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and stmt.value is not None
+            and _is_mutable_value(stmt.value)
+            and isinstance(stmt.target, ast.Name)
+        ):
+            summary.mutable_globals[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _walk_definition(stmt, stmt.name, class_names)
+            summary.functions[info.qualname] = info
+        elif isinstance(stmt, ast.ClassDef):
+            methods: list[str] = []
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.append(sub.name)
+                    qual = f"{stmt.name}.{sub.name}"
+                    summary.functions[qual] = _walk_definition(
+                        sub, qual, class_names
+                    )
+            summary.classes[stmt.name] = methods
+
+    return summary

@@ -1,0 +1,181 @@
+"""The (optional) mypy baseline ratchet behind ``repro lint --types``.
+
+The container running the simulator does not necessarily have mypy;
+type enforcement therefore has two layers:
+
+* the AST-level :class:`~repro.devtools.semantic.typedcore.TypedCoreRule`
+  (R011) always runs and needs nothing beyond the standard library;
+* when mypy *is* importable (developer machines, the CI
+  ``lint-semantic`` job installs it), ``repro lint --types`` runs it in
+  strict mode over the typed-core packages and compares the result
+  against a checked-in baseline.
+
+The baseline (:data:`BASELINE_RELPATH`) is a ratchet, not an allowlist
+of lines: each entry is a mypy diagnostic normalized to
+``path|error-code|message`` — deliberately *without* the line number,
+so unrelated edits that shift code do not churn the file.  The gate
+fails when the current run produces a diagnostic (counted with
+multiplicity) that the baseline does not contain; it never fails for
+*fixing* errors, and ``--update-type-baseline`` rewrites the file to
+the current (smaller or annotated-as-accepted) state.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_RELPATH",
+    "TypeGateResult",
+    "mypy_available",
+    "run_type_gate",
+]
+
+#: Checked-in baseline, relative to the project root.
+BASELINE_RELPATH = Path("src/repro/devtools/mypy_baseline.txt")
+
+#: Directories handed to mypy, relative to the project root.
+TYPED_ROOTS = ("src/repro/sim", "src/repro/exec")
+
+#: ``path:line: error: message  [code]`` — mypy's standard output shape.
+_DIAG_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+)(?::\d+)?: error: "
+    r"(?P<message>.*?)(?:\s+\[(?P<code>[\w-]+)\])?$"
+)
+
+
+class TypeGateResult:
+    """Outcome of one gate run, preformatted for the CLI."""
+
+    def __init__(
+        self,
+        ok: bool,
+        messages: list[str],
+        new: list[str] | None = None,
+        fixed: list[str] | None = None,
+    ) -> None:
+        self.ok = ok
+        self.messages = messages
+        self.new = new or []
+        self.fixed = fixed or []
+
+
+def mypy_available() -> bool:
+    """Is mypy importable in this interpreter?"""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def _normalize(line: str) -> str | None:
+    """One raw mypy output line -> baseline key, or None for non-errors."""
+    m = _DIAG_RE.match(line.strip())
+    if m is None:
+        return None
+    path = m.group("path").replace("\\", "/")
+    code = m.group("code") or "misc"
+    return f"{path}|{code}|{m.group('message')}"
+
+
+def _read_baseline(path: Path) -> Counter[str]:
+    if not path.is_file():
+        return Counter()
+    entries = [
+        line.strip()
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    ]
+    return Counter(entries)
+
+
+def _write_baseline(path: Path, current: Counter[str]) -> None:
+    lines = [
+        "# mypy baseline ratchet for repro lint --types.",
+        "# One normalized diagnostic per line: path|error-code|message",
+        "# (line numbers omitted so edits elsewhere do not churn this",
+        "# file).  Regenerate with: repro lint --types "
+        "--update-type-baseline",
+    ]
+    for key in sorted(current.elements()):
+        lines.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _run_mypy(root: Path) -> tuple[list[str], str]:
+    """Run mypy over the typed roots; return (normalized keys, raw)."""
+    cmd = [
+        sys.executable, "-m", "mypy",
+        "--config-file", "pyproject.toml",
+        *TYPED_ROOTS,
+    ]
+    proc = subprocess.run(
+        cmd, cwd=root, capture_output=True, text=True, check=False
+    )
+    raw = proc.stdout + proc.stderr
+    keys = []
+    for line in proc.stdout.splitlines():
+        key = _normalize(line)
+        if key is not None:
+            keys.append(key)
+    return keys, raw
+
+
+def run_type_gate(root: Path, update_baseline: bool = False) -> TypeGateResult:
+    """Run the mypy ratchet from ``root``; skip cleanly without mypy."""
+    baseline_path = root / BASELINE_RELPATH
+    if not mypy_available():
+        return TypeGateResult(
+            ok=True,
+            messages=[
+                "type gate: mypy is not installed in this environment; "
+                "skipping the strict-mode pass (the AST-level R011 "
+                "checks still ran).  Install mypy to run the full gate."
+            ],
+        )
+    keys, raw = _run_mypy(root)
+    current = Counter(keys)
+    baseline = _read_baseline(baseline_path)
+    new = sorted((current - baseline).elements())
+    fixed = sorted((baseline - current).elements())
+
+    if update_baseline:
+        _write_baseline(baseline_path, current)
+        return TypeGateResult(
+            ok=True,
+            messages=[
+                f"type gate: baseline updated with {sum(current.values())} "
+                f"diagnostic(s) ({len(new)} new, {len(fixed)} removed)."
+            ],
+            new=new,
+            fixed=fixed,
+        )
+
+    messages = []
+    if new:
+        messages.append(
+            f"type gate: {len(new)} new mypy diagnostic(s) not in the "
+            f"baseline ({baseline_path.as_posix()}):"
+        )
+        messages.extend(f"  {key}" for key in new)
+        messages.append(
+            "fix the diagnostics, or (for accepted debt) rerun with "
+            "--update-type-baseline."
+        )
+    if fixed:
+        messages.append(
+            f"type gate: {len(fixed)} baseline diagnostic(s) no longer "
+            "occur — rerun with --update-type-baseline to ratchet down."
+        )
+    if not new and not fixed:
+        messages.append(
+            f"type gate: clean ({sum(current.values())} diagnostic(s), "
+            "all in baseline)."
+        )
+    if new and raw.strip():
+        messages.append("raw mypy output:")
+        messages.extend(f"  {line}" for line in raw.strip().splitlines())
+    return TypeGateResult(ok=not new, messages=messages, new=new, fixed=fixed)

@@ -1,7 +1,21 @@
 """In-source suppression comments: ``# repro: noqa[R001]``.
 
-A suppression applies to findings on its own line.  The bare form
-``# repro: noqa`` silences every rule on the line; the bracketed form
+A suppression applies to findings on its own line, and — when it sits
+on the header line of a multi-line statement — to that statement's
+continuation lines as well (:func:`expand_statement_suppressions`), so
+
+.. code-block:: python
+
+    value = compute(  # repro: noqa[R001]
+        seed=time.time(),
+    )
+
+silences an R001 reported on the ``time.time()`` line.  For compound
+statements (``if``/``for``/``def``/…) the extent covers only the
+*header* (through the line before the first body statement): a noqa on
+``if cond:`` never silences the block under it.
+
+The bare form ``# repro: noqa`` silences every rule; the bracketed form
 ``# repro: noqa[R001]`` (or ``[R001,R004]``) silences only the listed
 rules.  The distinct ``repro:`` prefix keeps these orthogonal to
 flake8/ruff ``# noqa`` comments, so suppressing one tool never
@@ -10,12 +24,18 @@ accidentally silences the other.
 
 from __future__ import annotations
 
+import ast
 import re
 from collections.abc import Iterable
 
 from repro.devtools.findings import Finding
 
-__all__ = ["ALL_RULES", "line_suppressions", "filter_suppressed"]
+__all__ = [
+    "ALL_RULES",
+    "line_suppressions",
+    "expand_statement_suppressions",
+    "filter_suppressed",
+]
 
 #: Sentinel for "every rule suppressed on this line".
 ALL_RULES = "*"
@@ -40,6 +60,47 @@ def line_suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
         else:
             ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
             out[lineno] = ids or frozenset((ALL_RULES,))
+    return out
+
+
+def _statement_extent(stmt: ast.stmt) -> tuple[int, int]:
+    """Lines covered by a suppression on ``stmt``'s header line.
+
+    Simple statements cover their full (possibly wrapped) extent; for
+    compound statements the extent stops before the first body line, so
+    the header's own continuation lines (a wrapped ``if`` condition, a
+    multi-line ``def`` signature) are covered but the suite is not.
+    """
+    start = stmt.lineno
+    end = getattr(stmt, "end_lineno", None) or start
+    body = getattr(stmt, "body", None)
+    if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+        end = min(end, body[0].lineno - 1)
+    return start, max(start, end)
+
+
+def expand_statement_suppressions(
+    suppressions: dict[int, frozenset[str]], tree: ast.Module
+) -> dict[int, frozenset[str]]:
+    """Extend header-line suppressions over their statements' extents.
+
+    Returns a new map; lines that already carry their own suppression
+    get the union of both (an inner comment can only widen, never
+    narrow, what the header declared).
+    """
+    if not suppressions:
+        return suppressions
+    out = dict(suppressions)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        ids = suppressions.get(node.lineno)
+        if ids is None:
+            continue
+        start, end = _statement_extent(node)
+        for lineno in range(start + 1, end + 1):
+            existing = out.get(lineno)
+            out[lineno] = ids if existing is None else existing | ids
     return out
 
 

@@ -22,9 +22,12 @@ stream where they left off.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.config import GPUConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import MemTxn
 
 __all__ = ["WarpStream", "Warp", "IssueServer", "Core"]
 
@@ -70,8 +73,8 @@ class Warp:
         #: completion and L1-hit response); at most one of each is ever
         #: in flight, so the engine reuses them instead of allocating
         #: per iteration.  Wired up by the Simulator at construction.
-        self.compute_txn = None
-        self.resp_txn = None
+        self.compute_txn: MemTxn | None = None
+        self.resp_txn: MemTxn | None = None
 
 
 class IssueServer:

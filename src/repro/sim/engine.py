@@ -184,7 +184,9 @@ class EventQueue:
     def __len__(self) -> int:
         return self._size
 
-    def push(self, time: float, fn) -> None:
+    def push(
+        self, time: float, fn: "MemTxn | Callable[[float], None]"
+    ) -> None:
         if time < self.now:
             raise ValueError(f"event scheduled in the past: {time} < {self.now}")
         seq = self._seq
