@@ -138,12 +138,42 @@ def run_mode(mode: str, repeat: int) -> dict:
     }
 
 
+def _baseline_conflicts(
+    modes: dict, mode: str, measured: dict
+) -> list[tuple[str, list[str]]]:
+    """Cross-mode provenance conflicts for recording ``measured`` as the
+    ``mode`` baseline: ``(other_mode, [difference, ...])`` for every other
+    mode whose baseline was taken at a different git revision or on a
+    different machine/interpreter."""
+    conflicts: list[tuple[str, list[str]]] = []
+    for other_mode, other in sorted(modes.items()):
+        if other_mode == mode or not isinstance(other, dict):
+            continue
+        base = other.get("baseline")
+        if not isinstance(base, dict):
+            continue
+        diffs = [
+            f"{key}: baseline {base.get(key)!r} vs this run "
+            f"{measured.get(key)!r}"
+            for key in ("git", "machine", "python")
+            if base.get(key) is not None
+            and base.get(key) != measured.get(key)
+        ]
+        if diffs:
+            conflicts.append((other_mode, diffs))
+    return conflicts
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="short runs (CI smoke); records the 'quick' mode")
     parser.add_argument("--set-baseline", action="store_true",
                         help="record this measurement as the mode's baseline")
+    parser.add_argument("--force", action="store_true",
+                        help="with --set-baseline: record even when another "
+                             "mode's baseline has conflicting git/machine "
+                             "provenance")
     parser.add_argument("--repeat", type=int, default=None,
                         help="best-of repetitions (default: 3 full, 2 quick)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
@@ -164,6 +194,29 @@ def main(argv: list[str] | None = None) -> int:
     section = modes.setdefault(mode, {})
 
     measured = run_mode(mode, repeat)
+    if args.set_baseline and not args.force:
+        # Ratios are only meaningful same-machine (see module docstring),
+        # and the modes are compared side by side: a --quick baseline
+        # recorded on a different machine or commit than the full-mode
+        # one silently corrupts the file's provenance story.  Refuse
+        # cross-mode conflicts; re-recording the *same* mode's baseline
+        # is always an explicit act and stays allowed.
+        conflicts = _baseline_conflicts(modes, mode, measured)
+        if conflicts:
+            for other_mode, diffs in conflicts:
+                print(
+                    f"refusing --set-baseline: the existing {other_mode!r} "
+                    f"baseline's provenance disagrees with this {mode!r} run:",
+                    file=sys.stderr,
+                )
+                for diff in diffs:
+                    print(f"  {diff}", file=sys.stderr)
+            print(
+                "re-record that baseline on this machine/commit first, or "
+                "pass --force to record the conflict anyway.",
+                file=sys.stderr,
+            )
+            return 2
     if args.set_baseline or "baseline" not in section:
         section["baseline"] = measured
     section["current"] = measured

@@ -330,15 +330,23 @@ def _run_traced(args: argparse.Namespace, argv: list[str]) -> int:
         set_metrics(previous_metrics)
         trace_path = out_dir / "trace.jsonl"
         chrome_path = out_dir / "trace.chrome.json"
-        tracer.write(trace_path)
-        write_chrome_trace(chrome_path, tracer.events, run_id)
-        manifest.finish(
-            phases=tracer.phase_totals(),
-            metrics=metrics_snapshot,
-            files=sorted(p.name for p in (trace_path, chrome_path)),
-        )
-        manifest.write(out_dir)
-        print(f"trace written to {out_dir}", file=sys.stderr)
+        written: list[str] = []
+        try:
+            tracer.write(trace_path)
+            written.append(trace_path.name)
+            write_chrome_trace(chrome_path, tracer.events, run_id)
+            written.append(chrome_path.name)
+        finally:
+            # The manifest goes out even when an export step fails:
+            # ``files`` then records what actually landed on disk, and
+            # ``repro trace summarize`` degrades to a partial summary.
+            manifest.finish(
+                phases=tracer.phase_totals(),
+                metrics=metrics_snapshot,
+                files=sorted(written),
+            )
+            manifest.write(out_dir)
+            print(f"trace written to {out_dir}", file=sys.stderr)
     return code
 
 

@@ -223,6 +223,11 @@ class _FunctionChecker:
         self.forbid_release_of = forbid_release_of
         #: simple aliases: local name -> attribute chain it stands for
         self.aliases: dict[str, str] = {}
+        #: names bound from an intrusive ``.link`` chain read (stride
+        #: batching folds same-instant records into one event; the walk
+        #: advances via ``nxt = txn.link`` / ``txn = nxt``).  Chain
+        #: followers inherit the head's ownership obligations.
+        self.link_derived: set[str] = set()
         #: (env, return-or-terminal node) at each return statement
         self.returns: list[tuple[dict[str, _VarState], ast.AST]] = []
 
@@ -438,6 +443,27 @@ class _FunctionChecker:
             chain = _attr_chain(value)
             if chain is not None:
                 self.aliases[name] = chain
+                # `nxt = txn.link`: reading the intrusive chain pointer
+                # off a tracked record hands this name the follower of
+                # a same-instant stride chain.  The follower is a live
+                # record in the same stage as the head, so ownership
+                # tracking (release/park/use checks) must continue
+                # through it instead of going blind at the chain walk.
+                if value.attr == "link":
+                    base = chain.rsplit(".", 1)[0]
+                    src = env.get(base)
+                    if src is not None and src.state == _OWNED:
+                        env[name] = _VarState(_OWNED, stage=src.stage)
+                        self.link_derived.add(name)
+        elif isinstance(value, ast.Name) and value.id in self.link_derived:
+            src = env.get(value.id)
+            if src is not None:
+                # Chain-walk advance (`txn = nxt`): the record's
+                # obligations follow it under the new name — including
+                # the warp-owned never-release rule when the walk
+                # rebinds the dispatch parameter itself.
+                env[name] = _VarState(src.state, src.stage, src.disposed_at)
+                self.link_derived.add(name)
 
     # -- events -----------------------------------------------------------
 
@@ -489,9 +515,9 @@ class _FunctionChecker:
                         f"queue on line {var.disposed_at} and is also "
                         "released to the pool — two owners will re-drive it",
                     )
-                elif (
-                    self.forbid_release_of is not None
-                    and name == self.forbid_release_of
+                elif self.forbid_release_of is not None and (
+                    name == self.forbid_release_of
+                    or name in self.link_derived
                 ):
                     self.analysis.note(
                         call,

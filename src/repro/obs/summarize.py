@@ -146,6 +146,77 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds:8.3f}s"
 
 
+def _manifest_section(manifest_path: Path) -> list[str]:
+    """Render the manifest block, degrading gracefully on failure-path
+    manifests (null fields, missing per-phase timings, absent exports)
+    instead of raising out of the whole summary."""
+    lines = ["", "== manifest =="]
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        lines.append(
+            f"  WARNING: unreadable manifest ({exc}) — partial summary"
+        )
+        return lines
+    if not isinstance(manifest, dict):
+        lines.append(
+            "  WARNING: malformed manifest (not a JSON object) — "
+            "partial summary"
+        )
+        return lines
+    problems = validate_manifest(manifest)
+    argv = manifest.get("argv") or []
+    if not isinstance(argv, list):
+        argv = [argv]
+    lines.append(
+        f"  command: {manifest.get('command')}  "
+        f"argv: {' '.join(str(a) for a in argv)}"
+    )
+    lines.append(
+        f"  config: {manifest.get('config')} "
+        f"[{manifest.get('config_fingerprint')}]  "
+        f"seed: {manifest.get('seed')}  quick: {manifest.get('quick')}  "
+        f"jobs: {manifest.get('n_jobs')}"
+    )
+    lines.append(
+        f"  cache_format: {manifest.get('cache_format')}  "
+        f"git: {manifest.get('git_rev') or 'n/a'}  "
+        f"python: {manifest.get('python')}"
+    )
+    try:
+        duration = float(manifest.get("duration_s") or 0.0)
+    except (TypeError, ValueError):
+        duration = 0.0
+    lines.append(
+        f"  started: {manifest.get('started_at')}  "
+        f"duration: {duration:.3f}s"
+    )
+    if not manifest.get("finished_at"):
+        lines.append(
+            "  WARNING: run did not finish cleanly (no finished_at); "
+            "per-phase timings may be missing — partial summary"
+        )
+    listed = manifest.get("files") or []
+    if isinstance(listed, list):
+        absent = [
+            str(name) for name in listed
+            if not (manifest_path.parent / str(name)).is_file()
+        ]
+        if absent:
+            lines.append(
+                f"  WARNING: listed file(s) absent: {', '.join(absent)} "
+                "— partial summary"
+            )
+        if "trace.chrome.json" not in listed:
+            lines.append(
+                "  WARNING: no Chrome/Perfetto export recorded "
+                "(failure-path run?)"
+            )
+    if problems:
+        lines.append(f"  INCOMPLETE: missing/invalid fields {problems}")
+    return lines
+
+
 def summarize(target: str | Path, root: Path | None = None) -> str:
     """Render the human summary of one traced run."""
     trace_path = resolve_trace_path(target, root=root)
@@ -155,31 +226,7 @@ def summarize(target: str | Path, root: Path | None = None) -> str:
 
     manifest_path = trace_path.parent / MANIFEST_FILENAME
     if manifest_path.is_file():
-        manifest = json.loads(manifest_path.read_text())
-        problems = validate_manifest(manifest)
-        lines.append("")
-        lines.append("== manifest ==")
-        lines.append(
-            f"  command: {manifest.get('command')}  "
-            f"argv: {' '.join(manifest.get('argv', []))}"
-        )
-        lines.append(
-            f"  config: {manifest.get('config')} "
-            f"[{manifest.get('config_fingerprint')}]  "
-            f"seed: {manifest.get('seed')}  quick: {manifest.get('quick')}  "
-            f"jobs: {manifest.get('n_jobs')}"
-        )
-        lines.append(
-            f"  cache_format: {manifest.get('cache_format')}  "
-            f"git: {manifest.get('git_rev') or 'n/a'}  "
-            f"python: {manifest.get('python')}"
-        )
-        lines.append(
-            f"  started: {manifest.get('started_at')}  "
-            f"duration: {manifest.get('duration_s', 0.0):.3f}s"
-        )
-        if problems:
-            lines.append(f"  INCOMPLETE: missing/invalid fields {problems}")
+        lines.extend(_manifest_section(manifest_path))
     else:
         lines.append(f"  (no {MANIFEST_FILENAME} next to the trace)")
 

@@ -106,7 +106,8 @@ class IssueServer:
 class Core:
     """One GPU core: warp contexts + issue server + SWL TLP limit."""
 
-    __slots__ = ("core_id", "app_id", "config", "issue", "warps", "tlp")
+    __slots__ = ("core_id", "app_id", "config", "issue", "warps", "tlp",
+                 "fill_txn", "fill_time", "tick_head", "tick_tail")
 
     def __init__(self, core_id: int, app_id: int, config: GPUConfig) -> None:
         self.core_id = core_id
@@ -115,6 +116,18 @@ class Core:
         self.issue = IssueServer(config.issue_width)
         self.warps: list[Warp] = []
         self.tlp = config.max_tlp
+        #: the core's most recently scheduled, still-queued L1 fill
+        #: transaction and its event time; a new fill due at exactly the
+        #: same instant coalesces into it (engine fold, see
+        #: ``MemTxn.L1_FILL_MULTI``).  Cleared when the event dispatches.
+        self.fill_txn: "MemTxn | None" = None
+        self.fill_time = -1.0
+        #: open per-core compute stride chain: head/tail of the linked
+        #: chain of same-instant compute records riding one queued
+        #: event (engine fold, see ``Simulator._start_warp``).  Cleared
+        #: when the head dispatches.
+        self.tick_head: "MemTxn | None" = None
+        self.tick_tail: "MemTxn | None" = None
 
     def add_warp(self, stream: WarpStream) -> Warp:
         warp = Warp(len(self.warps), self.app_id, stream)

@@ -25,10 +25,14 @@ bursts and bank-level parallelism emerges naturally.
 
 from __future__ import annotations
 
-from typing import Callable
+from heapq import heappush
+from typing import TYPE_CHECKING, Callable
 
 from repro.config import GPUConfig
 from repro.sim.address import AddressMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import EventQueue
 
 __all__ = ["DRAMRequest", "DRAMChannel"]
 
@@ -87,10 +91,12 @@ class DRAMChannel:
 
     __slots__ = (
         "channel_id", "timings", "addr_map", "frfcfs_cap", "capacity",
-        "_schedule_event", "on_dequeue", "_banks", "_group_col_free",
-        "queue", "bus_free", "last_activate", "_deciding", "_hit_streak",
-        "row_hits", "row_misses", "lines_transferred", "busy_cycles",
-        "_decide_event", "_bank_group_of",
+        "_events", "_schedule_event", "on_dequeue", "_banks",
+        "_group_col_free", "queue", "bus_free", "last_activate",
+        "_deciding", "_hit_streak", "row_hits", "row_misses",
+        "lines_transferred", "busy_cycles", "_decide_event",
+        "_bank_group_of", "_t_ccd", "_t_cl", "_t_rp", "_t_rcd", "_t_ras",
+        "_t_rrd", "_burst", "_lookahead",
     )
 
     def __init__(
@@ -98,14 +104,30 @@ class DRAMChannel:
         channel_id: int,
         config: GPUConfig,
         addr_map: AddressMap,
-        schedule_event: Callable[[float, Callable[[float], None]], None],
+        events: "EventQueue",
     ) -> None:
         self.channel_id = channel_id
         self.timings = config.dram
         self.addr_map = addr_map
         self.frfcfs_cap = config.frfcfs_cap
         self.capacity = config.dram_queue_depth
-        self._schedule_event = schedule_event
+        #: the owning event queue; the scheduler pushes straight into its
+        #: calendar wheel (same inlined fast path the engine hot loop
+        #: uses) — one decision schedules two events, so the push cost
+        #: is on the critical path of every DRAM line.
+        self._events = events
+        self._schedule_event = events.push
+        # Timing scalars, flattened off the config once (the attribute
+        # chain through ``self.timings`` is per-decision cost otherwise).
+        t = config.dram
+        self._t_ccd = t.t_ccd
+        self._t_cl = t.t_cl
+        self._t_rp = t.t_rp
+        self._t_rcd = t.t_rcd
+        self._t_ras = t.t_ras
+        self._t_rrd = t.t_rrd
+        self._burst = t.burst_cycles
+        self._lookahead = t.row_miss_service + t.burst_cycles
         #: called after each dequeue so a backpressured upstream (the L2
         #: miss path) can re-drive a deferred request
         self.on_dequeue: Callable[[float], None] | None = None
@@ -161,16 +183,30 @@ class DRAMChannel:
         First ready: the oldest row-buffer hit (unless the hit streak is
         capped); otherwise the oldest request whose bank frees earliest,
         so independent banks activate in parallel.
+
+        One pass serves both priorities: return at the first hit, and
+        track the miss fallback along the way.  Once an already-ready
+        bank is seen the fallback is locked (the oldest ready bank
+        wins), matching the early exit the two-loop form used.
         """
-        window = min(len(self.queue), self.SCAN_WINDOW)
+        queue = self.queue
+        banks = self._banks
+        window = min(len(queue), self.SCAN_WINDOW)
         if self._hit_streak < self.frfcfs_cap:
+            best, best_ready = 0, float("inf")
             for i in range(window):
-                req = self.queue[i]
-                if self._banks[req.bank].open_row == req.row:
+                req = queue[i]
+                bank = banks[req.bank]
+                if bank.open_row == req.row:
                     return i
+                if best_ready > now:
+                    ready = bank.free_at
+                    if ready < best_ready:
+                        best, best_ready = i, ready
+            return best
         best, best_ready = 0, float("inf")
         for i in range(window):
-            ready = self._banks[self.queue[i].bank].free_at
+            ready = banks[queue[i].bank].free_at
             if ready < best_ready:
                 best, best_ready = i, ready
                 if ready <= now:
@@ -182,7 +218,6 @@ class DRAMChannel:
         if not queue:
             self._deciding = False
             return
-        t = self.timings
         # With one queued request the FR-FCFS choice is trivial; the
         # scan only runs when there is an actual decision to make.
         req = queue.pop() if len(queue) == 1 else queue.pop(self._pick(now))
@@ -198,35 +233,59 @@ class DRAMChannel:
         if row_hit:
             self._hit_streak += 1
             self.row_hits += 1
-            col_issue = max(now, bank.free_at, group_col_free[group])
+            col_issue = now
+            if bank.free_at > col_issue:
+                col_issue = bank.free_at
+            gcf = group_col_free[group]
+            if gcf > col_issue:
+                col_issue = gcf
         else:
             self._hit_streak = 0
             self.row_misses += 1
-            act_start = max(now, bank.free_at, self.last_activate + t.t_rrd)
+            act_start = now
+            if bank.free_at > act_start:
+                act_start = bank.free_at
+            rrd_ok = self.last_activate + self._t_rrd
+            if rrd_ok > act_start:
+                act_start = rrd_ok
             if bank.open_row is not None:
                 # Precharge the open row first (respect tRAS already folded
                 # into bank.ras_until).
-                act_start = max(act_start, bank.ras_until) + t.t_rp
+                if bank.ras_until > act_start:
+                    act_start = bank.ras_until
+                act_start += self._t_rp
             self.last_activate = act_start
-            bank.ras_until = act_start + t.t_ras
+            bank.ras_until = act_start + self._t_ras
             bank.open_row = row
-            col_issue = max(act_start + t.t_rcd, group_col_free[group])
+            col_issue = act_start + self._t_rcd
+            gcf = group_col_free[group]
+            if gcf > col_issue:
+                col_issue = gcf
 
-        t_ccd = t.t_ccd
-        data_ready = col_issue + t.t_cl
+        t_ccd = self._t_ccd
+        data_ready = col_issue + self._t_cl
         group_col_free[group] = col_issue + t_ccd
         bus_free = self.bus_free
         data_start = data_ready if data_ready > bus_free else bus_free
-        burst = t.burst_cycles
-        data_end = data_start + burst
+        data_end = data_start + self._burst
         self.bus_free = data_end
         bank.free_at = col_issue + t_ccd
         self.lines_transferred += 1
-        self.busy_cycles += burst
+        self.busy_cycles += self._burst
 
         # The request object is its own data-return event (see
-        # DRAMRequest.__call__) — no per-burst closure.
-        self._schedule_event(data_end, req)
+        # DRAMRequest.__call__) — no per-burst closure.  Both pushes use
+        # the calendar wheel's inlined fast path (engine-scheduled times
+        # are never in the past; overflow is rare).
+        ev = self._events
+        slot = int(data_end) >> 4  # EventQueue.BUCKET_SHIFT
+        if slot - ev._cursor < 1024:  # EventQueue.WHEEL_SIZE
+            seq = ev._seq
+            ev._seq = seq + 1
+            ev._size += 1
+            heappush(ev._wheel[slot & ev._mask], (data_end, seq, req))
+        else:
+            ev.push(data_end, req)
         if not queue:
             self._deciding = False
             return
@@ -237,6 +296,18 @@ class DRAMChannel:
         # committed ahead of the bus (bounded-lookahead FR-FCFS): deep
         # enough that row-miss activations overlap at t_rrd spacing, yet
         # shallow enough that late-arriving row hits can still reorder in.
-        lookahead = t.row_miss_service + t.burst_cycles
-        next_decision = max(now + t.t_ccd, self.bus_free - lookahead)
-        self._schedule_event(next_decision, self._decide_event)
+        next_decision = now + t_ccd
+        lagged = data_end - self._lookahead
+        if lagged > next_decision:
+            next_decision = lagged
+        slot = int(next_decision) >> 4
+        if slot - ev._cursor < 1024:
+            seq = ev._seq
+            ev._seq = seq + 1
+            ev._size += 1
+            heappush(
+                ev._wheel[slot & ev._mask],
+                (next_decision, seq, self._decide_event),
+            )
+        else:
+            ev.push(next_decision, self._decide_event)

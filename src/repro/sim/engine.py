@@ -31,6 +31,15 @@ Hot-path architecture (see ``docs/performance.md``):
   in a small overflow heap.  Ordering is bit-identical to the previous
   float-keyed heap, which the golden fixtures under ``tests/golden/``
   enforce.
+* Same-instant events are folded to cut dispatch count: an idle DRAM
+  scheduler's first decision runs synchronously; a warp whose every
+  line hits L1 completes without a separate ``WARP_RESP`` hop;
+  same-cycle data returns to one core merge into ``L1_FILL_MULTI``;
+  and one core's compute completions due at the same instant ride an
+  intrusive chain (``MemTxn.due``/``MemTxn.link``) behind a single
+  event.  Folds A/C/D are exact up to same-instant tie order; the
+  all-hit fold shifts reservation attribution within one hit latency —
+  the per-fold equivalence argument lives in ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -83,10 +92,13 @@ class MemTxn:
     RETRY_L2 = 5
     #: parked retry: re-attempt the DRAM queue enqueue
     RETRY_DRAM = 6
+    #: one response event carrying several same-instant L1 fills for one
+    #: core (``lines`` holds the batch, in scheduling order)
+    L1_FILL_MULTI = 7
 
     __slots__ = (
         "stage", "core", "warp", "line", "app_id", "channel", "n_inst",
-        "n", "lines",
+        "n", "lines", "due", "link",
     )
 
     def __init__(
@@ -112,7 +124,13 @@ class MemTxn:
         #: number of L1-hit responses carried (WARP_RESP)
         self.n = n
         #: line addresses of the pending memory instruction (COMPUTE_DONE)
+        #: or of the fill batch (L1_FILL_MULTI)
         self.lines = lines
+        #: exact completion time of a stride-batched compute phase; the
+        #: event rides at the chain head's time, the arithmetic uses this
+        self.due = 0.0
+        #: next compute record in the same per-core stride chain
+        self.link: MemTxn | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -128,6 +146,7 @@ _L1_FILL = MemTxn.L1_FILL
 _RETRY_L1 = MemTxn.RETRY_L1
 _RETRY_L2 = MemTxn.RETRY_L2
 _RETRY_DRAM = MemTxn.RETRY_DRAM
+_L1_FILL_MULTI = MemTxn.L1_FILL_MULTI
 
 #: shared immutable default for MSHR release when no waiter is registered
 _EMPTY: tuple = ()
@@ -193,6 +212,12 @@ class EventQueue:
         self._seq = seq + 1
         self._size += 1
         slot = int(time) >> 4  # BUCKET_SHIFT
+        # Strict `<`: a push landing exactly WHEEL_SIZE buckets ahead
+        # (slot - cursor == 1024) would wrap onto the live bucket at the
+        # cursor itself, running 16384 cycles early — the horizon
+        # boundary must route to the overflow heap.  The inlined copies
+        # of this fast path (dispatch hot loop, DRAM scheduler) repeat
+        # the same strict comparison.
         if slot - self._cursor < 1024:  # WHEEL_SIZE
             heappush(self._wheel[slot & self._mask], (time, seq, fn))
         else:
@@ -233,8 +258,14 @@ class EventQueue:
                         break
                     popped += 1
                     self.now = time
-                    if obj.__class__ is MemTxn:
+                    cls = obj.__class__
+                    if cls is MemTxn:
                         dispatch(obj, time)
+                    elif cls is DRAMRequest:
+                        # Data-return fast path: skip the __call__ frame
+                        # and invoke the callback (a C-level partial)
+                        # directly.
+                        obj.callback(obj, time)
                     else:
                         obj(time)
                 # _size is maintained as a batch: nothing reads it
@@ -373,7 +404,7 @@ class Simulator:
             deque() for _ in range(config.n_channels)
         ]
         self.channels = [
-            DRAMChannel(ch, config, self.addr_map, self.events.push)
+            DRAMChannel(ch, config, self.addr_map, self.events)
             for ch in range(config.n_channels)
         ]
         # DRAM-queue backpressure: L2 misses deferred while a channel's
@@ -491,121 +522,166 @@ class Simulator:
         """
         stage = txn.stage
         if stage == _COMPUTE_DONE:
-            warp = txn.warp
-            stats = self._stats[warp.app_id]
-            stats.insts += txn.n_inst
-            warp.iterations += 1
-            lines = txn.lines
-            if not lines:
-                if warp.active:
-                    self._start_warp(txn.core, warp, now)
-                else:
-                    warp.parked = True
-                return
             core = txn.core
-            cid = core.core_id
-            n = len(lines)
-            warp.pending = n
-            warp.issue_time = now
-            l1 = self.l1s[cid]
-            l1_sets = l1._sets
-            lb = l1.line_bytes
-            ns = l1.n_sets
-            mshr = self.l1_mshrs[cid]
-            pending_map = mshr._pending
-            app_id = warp.app_id
-            n_hits = 0
-            n_misses = 0
-            for line in lines:
-                # Inlined SetAssocCache.access: LRU lookup with the
-                # statistics batched after the loop.
-                line_set = l1_sets[(line // lb) % ns]
-                if line in line_set:
-                    line_set[line] = line_set.pop(line)
-                    n_hits += 1
-                    continue
-                n_misses += 1
-                # Inlined L1-miss fast path; _l1_miss is the readable
-                # form (used for retries) and must stay equivalent.
-                waiters = pending_map.get(line)
-                if waiters is not None:
-                    waiters.append(warp)
-                    mshr.merges += 1
-                    continue
-                if len(pending_map) >= mshr.n_entries:
-                    mshr.allocation_failures += 1
-                    pool = self._txn_pool
-                    if pool:
-                        t2 = pool.pop()
-                        t2.stage = _RETRY_L1
-                        t2.core = core
-                        t2.warp = warp
-                        t2.line = line
-                        t2.app_id = app_id
+            if core.tick_head is txn:
+                # This chain is the core's open one; close it so later
+                # completions open a fresh chain (with a live event)
+                # instead of appending to a consumed record.
+                core.tick_head = None
+            while True:
+                # Chain bookkeeping first: the body below may re-arm
+                # this very record for the warp's next iteration (the
+                # all-hit fold and the pure-compute path call
+                # _start_warp synchronously), which overwrites ``link``
+                # and ``due``.
+                nxt = txn.link
+                txn.link = None
+                warp = txn.warp
+                stats = self._stats[warp.app_id]
+                stats.insts += txn.n_inst
+                warp.iterations += 1
+                lines = txn.lines
+                if not lines:
+                    if warp.active:
+                        self._start_warp(core, warp, now)
                     else:
-                        t2 = MemTxn(_RETRY_L1, core, warp, line, app_id)
-                    self._l1_deferred[cid].append(t2)
-                    continue
-                pending_map[line] = [warp]
-                channel = (line // self._interleave) % self._n_channels
-                port = self._req_ports[channel]
-                fa = port.free_at
-                start = now if now > fa else fa
-                cpp = port.cycles_per_packet
-                fa = start + cpp
-                port.free_at = fa
-                port.packets += 1
-                port.busy_cycles += cpp
-                port.queue_cycles += start - now
-                pool = self._txn_pool
-                if pool:
-                    t2 = pool.pop()
-                    t2.stage = _L2_ACCESS
-                    t2.core = core
-                    t2.warp = warp
-                    t2.line = line
-                    t2.app_id = app_id
-                    t2.channel = channel
+                        warp.parked = True
                 else:
-                    t2 = MemTxn(_L2_ACCESS, core, warp, line, app_id, channel)
-                # Inlined EventQueue.push fast path (engine-scheduled
-                # times are never in the past; overflow is rare).
-                ev = self.events
-                t = fa + port.latency
-                slot = int(t) >> 4
-                if slot - ev._cursor < 1024:
-                    seq = ev._seq
-                    ev._seq = seq + 1
-                    ev._size += 1
-                    heappush(ev._wheel[slot & ev._mask], (t, seq, t2))
-                else:
-                    ev.push(t, t2)
-            cache_stats = l1.stats
-            cache_stats.accesses += n
-            by_app = cache_stats.accesses_by_app
-            by_app[app_id] = by_app.get(app_id, 0) + n
-            stats.l1_accesses += n
-            if n_misses:
-                cache_stats.misses += n_misses
-                by_app = cache_stats.misses_by_app
-                by_app[app_id] = by_app.get(app_id, 0) + n_misses
-                stats.l1_misses += n_misses
-            if n_hits:
-                resp = warp.resp_txn
-                resp.n = n_hits
-                ev = self.events
-                t = now + self._l1_hit_latency
-                slot = int(t) >> 4
-                if slot - ev._cursor < 1024:
-                    seq = ev._seq
-                    ev._seq = seq + 1
-                    ev._size += 1
-                    heappush(ev._wheel[slot & ev._mask], (t, seq, resp))
-                else:
-                    ev.push(t, resp)
-            return
+                    cid = core.core_id
+                    n = len(lines)
+                    warp.pending = n
+                    warp.issue_time = now
+                    l1 = self.l1s[cid]
+                    l1_sets = l1._sets
+                    lb = l1.line_bytes
+                    ns = l1.n_sets
+                    mshr = self.l1_mshrs[cid]
+                    pending_map = mshr._pending
+                    app_id = warp.app_id
+                    n_hits = 0
+                    n_misses = 0
+                    for line in lines:
+                        # Inlined SetAssocCache.access: LRU lookup with
+                        # the statistics batched after the loop.
+                        line_set = l1_sets[(line // lb) % ns]
+                        if line in line_set:
+                            line_set[line] = line_set.pop(line)
+                            n_hits += 1
+                            continue
+                        n_misses += 1
+                        # Inlined L1-miss fast path; _l1_miss is the
+                        # readable form (used for retries) and must stay
+                        # equivalent.
+                        waiters = pending_map.get(line)
+                        if waiters is not None:
+                            waiters.append(warp)
+                            mshr.merges += 1
+                            continue
+                        if len(pending_map) >= mshr.n_entries:
+                            mshr.allocation_failures += 1
+                            pool = self._txn_pool
+                            if pool:
+                                t2 = pool.pop()
+                                t2.stage = _RETRY_L1
+                                t2.core = core
+                                t2.warp = warp
+                                t2.line = line
+                                t2.app_id = app_id
+                            else:
+                                t2 = MemTxn(_RETRY_L1, core, warp, line, app_id)
+                            self._l1_deferred[cid].append(t2)
+                            continue
+                        pending_map[line] = [warp]
+                        channel = (line // self._interleave) % self._n_channels
+                        port = self._req_ports[channel]
+                        fa = port.free_at
+                        start = now if now > fa else fa
+                        cpp = port.cycles_per_packet
+                        fa = start + cpp
+                        port.free_at = fa
+                        port.packets += 1
+                        port.busy_cycles += cpp
+                        port.queue_cycles += start - now
+                        pool = self._txn_pool
+                        if pool:
+                            t2 = pool.pop()
+                            t2.stage = _L2_ACCESS
+                            t2.core = core
+                            t2.warp = warp
+                            t2.line = line
+                            t2.app_id = app_id
+                            t2.channel = channel
+                        else:
+                            t2 = MemTxn(
+                                _L2_ACCESS, core, warp, line, app_id, channel
+                            )
+                        # Inlined EventQueue.push fast path
+                        # (engine-scheduled times are never in the past;
+                        # overflow is rare).
+                        ev = self.events
+                        t = fa + port.latency
+                        slot = int(t) >> 4
+                        if slot - ev._cursor < 1024:
+                            seq = ev._seq
+                            ev._seq = seq + 1
+                            ev._size += 1
+                            heappush(ev._wheel[slot & ev._mask], (t, seq, t2))
+                        else:
+                            ev.push(t, t2)
+                    cache_stats = l1.stats
+                    cache_stats.accesses += n
+                    by_app = cache_stats.accesses_by_app
+                    by_app[app_id] = by_app.get(app_id, 0) + n
+                    stats.l1_accesses += n
+                    if n_misses:
+                        cache_stats.misses += n_misses
+                        by_app = cache_stats.misses_by_app
+                        by_app[app_id] = by_app.get(app_id, 0) + n_misses
+                        stats.l1_misses += n_misses
+                    if n_hits:
+                        if n_misses:
+                            resp = warp.resp_txn
+                            resp.n = n_hits
+                            ev = self.events
+                            t = now + self._l1_hit_latency
+                            slot = int(t) >> 4
+                            if slot - ev._cursor < 1024:
+                                seq = ev._seq
+                                ev._seq = seq + 1
+                                ev._size += 1
+                                heappush(
+                                    ev._wheel[slot & ev._mask], (t, seq, resp)
+                                )
+                            else:
+                                ev.push(t, resp)
+                        else:
+                            # All-hit fold: every line hit, so the
+                            # WARP_RESP hop carries no new information.
+                            # Complete the memory instruction here and
+                            # restart the warp loop at the hit-latency
+                            # timestamp (t), one event instead of two.
+                            # The next stream draw and issue reservation
+                            # happen at wall-time `now` rather than `t`
+                            # — a bounded attribution shift, see
+                            # docs/performance.md.
+                            warp.pending = 0
+                            t = now + self._l1_hit_latency
+                            self.collector.note_mem_request(app_id, t - now)
+                            if warp.active:
+                                self._start_warp(core, warp, t)
+                            else:
+                                warp.parked = True
+                if nxt is None:
+                    return
+                # Continue the stride chain: the follower's event was
+                # folded into this one; its exact completion time rides
+                # in ``due`` and feeds all downstream arithmetic.
+                txn = nxt
+                now = txn.due
         if stage == _L1_FILL:
             core = txn.core
+            if core.fill_txn is txn:
+                core.fill_txn = None
             cid = core.core_id
             line = txn.line
             l1 = self.l1s[cid]
@@ -642,7 +718,59 @@ class Simulator:
                 pending_map = mshr._pending
                 n_entries = mshr.n_entries
                 while deferred and len(pending_map) < n_entries:
-                    self._dispatch(deferred.popleft(), now)
+                    # Parked entries are always RETRY_L1; re-drive them
+                    # through _l1_miss directly (no dispatch round trip).
+                    t2 = deferred.popleft()
+                    self._l1_miss(t2.core, t2.warp, t2.line, now, t2)
+            self._txn_pool.append(txn)
+            return
+        if stage == _L1_FILL_MULTI:
+            # A batch of same-instant fills for one core (the coalesced
+            # form of L1_FILL): install every line, wake its waiters and
+            # re-drive deferred misses per line, in the order the fills
+            # were scheduled — the same per-line work the individual
+            # events would have done back to back.
+            core = txn.core
+            if core.fill_txn is txn:
+                core.fill_txn = None
+            cid = core.core_id
+            l1 = self.l1s[cid]
+            mshr = self.l1_mshrs[cid]
+            deferred = self._l1_deferred[cid]
+            app_id = txn.app_id
+            for line in txn.lines:
+                if l1.bypass_apps or l1.way_quota:
+                    l1.fill(line, app_id)
+                else:
+                    line_set = l1._sets[(line // l1.line_bytes) % l1.n_sets]
+                    if line in line_set:
+                        line_set[line] = line_set.pop(line)
+                    else:
+                        if len(line_set) >= l1.assoc:
+                            del line_set[next(iter(line_set))]
+                        line_set[line] = app_id
+                for warp in mshr._pending.pop(line, _EMPTY):
+                    pending = warp.pending - 1
+                    warp.pending = pending
+                    if pending == 0:
+                        self.collector.note_mem_request(
+                            warp.app_id, now - warp.issue_time
+                        )
+                        if warp.active:
+                            self._start_warp(core, warp, now)
+                        else:
+                            warp.parked = True
+                    elif pending < 0:
+                        raise RuntimeError(
+                            "warp received more responses than requests"
+                        )
+                if deferred:
+                    pending_map = mshr._pending
+                    n_entries = mshr.n_entries
+                    while deferred and len(pending_map) < n_entries:
+                        t2 = deferred.popleft()
+                        self._l1_miss(t2.core, t2.warp, t2.line, now, t2)
+            txn.lines = None
             self._txn_pool.append(txn)
             return
         if stage == _L2_ACCESS:
@@ -671,9 +799,28 @@ class Simulator:
                 port.packets += 1
                 port.busy_cycles += cpp
                 port.queue_cycles += start - t
-                txn.stage = _L1_FILL
-                ev = self.events
                 t = fa + port.latency
+                core = txn.core
+                ft = core.fill_txn
+                if ft is not None and core.fill_time == t:
+                    # Same-instant coalescing: the core already has a
+                    # fill event queued at exactly this time (possible
+                    # only across channels — one response port
+                    # serialises its own fills).  Batch the line onto it
+                    # instead of queueing a second event.  All fills of
+                    # one core share its application (address spaces are
+                    # app-disjoint), so the batch keeps one app_id.
+                    if ft.stage == _L1_FILL:
+                        ft.stage = _L1_FILL_MULTI
+                        ft.lines = [ft.line, line]
+                    else:
+                        ft.lines.append(line)
+                    self._txn_pool.append(txn)
+                    return
+                txn.stage = _L1_FILL
+                core.fill_txn = txn
+                core.fill_time = t
+                ev = self.events
                 slot = int(t) >> 4
                 if slot - ev._cursor < 1024:
                     seq = ev._seq
@@ -733,21 +880,27 @@ class Simulator:
                 )
             # Inlined DRAMChannel.enqueue (capacity already checked).
             queue.append(req)
+            self._txn_pool.append(txn)
             if not chan._deciding:
                 chan._deciding = True
+                # An idle scheduler's first decision is due at this very
+                # instant.  Run it synchronously instead of scheduling a
+                # same-time event — with one guard: if the current wheel
+                # bucket still holds an entry at exactly `now`, that tie
+                # was queued first and must run first, so fall back to
+                # the event to keep the (time, seq) order bit-identical.
+                # All same-instant events live in the current bucket
+                # (overflow entries due now were migrated before the
+                # bucket drain began), so one head peek decides.
                 ev = self.events
-                slot = int(now) >> 4
-                if slot - ev._cursor < 1024:
+                bucket = ev._wheel[ev._cursor & ev._mask]
+                if bucket and bucket[0][0] == now:
                     seq = ev._seq
                     ev._seq = seq + 1
                     ev._size += 1
-                    heappush(
-                        ev._wheel[slot & ev._mask],
-                        (now, seq, chan._decide_event),
-                    )
+                    heappush(bucket, (now, seq, chan._decide_event))
                 else:
-                    ev.push(now, chan._decide_event)
-            self._txn_pool.append(txn)
+                    chan._decide(now)
             return
         if stage == _WARP_RESP:
             warp = txn.warp
@@ -791,8 +944,29 @@ class Simulator:
         finish = start + n_inst / iss.issue_width
         iss.free_at = finish
         min_finish = now + n_inst
-        ev = self.events
         t = finish if finish > min_finish else min_finish
+        txn.due = t
+        txn.link = None
+        # Stride batching: compute completions of one core due at the
+        # *exact same instant* share a single event; the head's dispatch
+        # walks the chain.  Ties are common (lockstep restarts after a
+        # TLP change, warps pinned to the 1-IPC per-warp ceiling) and
+        # the fold is order-preserving: every record runs at its true
+        # simulated time, so only the tie order against other
+        # same-instant events can shift.  Chaining completions that are
+        # merely *near* in time is not safe — their bodies would reserve
+        # shared ports ahead of events scheduled between the head and
+        # the follower, which measurably changes DRAM-side dynamics.
+        # The head's dispatch closes the chain, so an append can never
+        # target an already-consumed event.
+        head = core.tick_head
+        if head is not None and core.tick_tail.due == t:
+            core.tick_tail.link = txn
+            core.tick_tail = txn
+            return
+        core.tick_head = txn
+        core.tick_tail = txn
+        ev = self.events
         slot = int(t) >> 4
         if slot - ev._cursor < 1024:
             seq = ev._seq
@@ -922,7 +1096,9 @@ class Simulator:
         queue = chan.queue
         capacity = chan.capacity
         while deferred and len(queue) < capacity:
-            self._dispatch(deferred.popleft(), now)
+            # Parked entries are always RETRY_DRAM; re-drive them
+            # through _to_dram directly (no dispatch round trip).
+            self._to_dram(deferred.popleft(), now)
         if not deferred:
             chan.on_dequeue = None
 
@@ -961,6 +1137,17 @@ class Simulator:
             port.packets += 1
             port.busy_cycles += cpp
             port.queue_cycles += start - now
+            t = fa + port.latency
+            ft = core.fill_txn
+            if ft is not None and core.fill_time == t:
+                # Same-instant coalescing (see the L2-hit path): batch
+                # onto the core's already-queued fill event.
+                if ft.stage == _L1_FILL:
+                    ft.stage = _L1_FILL_MULTI
+                    ft.lines = [ft.line, line]
+                else:
+                    ft.lines.append(line)
+                continue
             if txn_pool:
                 t2 = txn_pool.pop()
                 t2.stage = _L1_FILL
@@ -970,7 +1157,8 @@ class Simulator:
                 t2.app_id = app_id
             else:
                 t2 = MemTxn(_L1_FILL, core, None, line, app_id)
-            t = fa + port.latency
+            core.fill_txn = t2
+            core.fill_time = t
             slot = int(t) >> 4
             if slot - ev._cursor < 1024:
                 seq = ev._seq
@@ -984,7 +1172,9 @@ class Simulator:
             pending_map = mshr._pending
             n_entries = mshr.n_entries
             while deferred and len(pending_map) < n_entries:
-                self._dispatch(deferred.popleft(), now)
+                # Parked entries are always RETRY_L2 (see the L2 miss
+                # path); re-drive them through _l2_miss directly.
+                self._l2_miss(deferred.popleft(), now)
         self._req_pool.append(request)
 
     # ------------------------------------------------------------------

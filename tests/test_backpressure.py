@@ -53,7 +53,7 @@ class TestDRAMQueueBound:
     def test_enqueue_overflow_is_a_programming_error(self):
         cfg = small_config().with_(dram_queue_depth=2)
         events = EventQueue()
-        channel = DRAMChannel(0, cfg, AddressMap.from_config(cfg), events.push)
+        channel = DRAMChannel(0, cfg, AddressMap.from_config(cfg), events)
 
         def req(i):
             return DRAMRequest(i * 128, 0, 0, 0, 0.0, lambda r, t: None)

@@ -1,0 +1,117 @@
+"""Tests for scripts/bench_report.py baseline-provenance guarding.
+
+The benchmark itself is exercised by the CI smoke job; here we cover
+the ``--set-baseline`` refusal logic with a stubbed measurement so no
+simulation runs.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_report", ROOT / "scripts" / "bench_report.py"
+)
+bench_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_report)
+
+
+def _measured(git="abc1234", machine="x86_64", python="3.11.0"):
+    return {
+        "recorded_at": "2026-01-01T00:00:00+00:00",
+        "git": git,
+        "machine": machine,
+        "python": python,
+        "cases": {
+            case: {
+                "cycles": 1000,
+                "events": 5000,
+                "wall_s": 0.01,
+                "cycles_per_sec": 100000.0,
+                "events_per_sec": 500000.0,
+            }
+            for case in bench_report.CASES
+        },
+    }
+
+
+class TestBaselineConflicts:
+    def test_no_other_modes_is_clean(self):
+        assert bench_report._baseline_conflicts({}, "quick", _measured()) == []
+        modes = {"quick": {"baseline": _measured(git="old")}}
+        # Re-recording the same mode's baseline is never a conflict.
+        assert bench_report._baseline_conflicts(modes, "quick", _measured()) == []
+
+    def test_cross_mode_git_and_machine_mismatch_reported(self):
+        modes = {"full": {"baseline": _measured(git="old", machine="arm64")}}
+        conflicts = bench_report._baseline_conflicts(modes, "quick", _measured())
+        assert len(conflicts) == 1
+        other_mode, diffs = conflicts[0]
+        assert other_mode == "full"
+        assert any("git" in d for d in diffs)
+        assert any("machine" in d for d in diffs)
+
+    def test_matching_provenance_is_clean(self):
+        modes = {"full": {"baseline": _measured()}}
+        assert bench_report._baseline_conflicts(modes, "quick", _measured()) == []
+
+    def test_null_fields_do_not_conflict(self):
+        # A baseline recorded outside a git work tree has git=None;
+        # that is unknown provenance, not a conflict.
+        modes = {"full": {"baseline": _measured(git=None)}}
+        assert bench_report._baseline_conflicts(modes, "quick", _measured()) == []
+
+
+class TestSetBaselineGuard:
+    @pytest.fixture
+    def out(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "modes": {"full": {"baseline": _measured(git="fullrev")}},
+        }))
+        monkeypatch.setattr(
+            bench_report, "run_mode", lambda mode, repeat: _measured()
+        )
+        return path
+
+    def test_quick_set_baseline_refuses_on_conflict(self, out, capsys):
+        rc = bench_report.main(
+            ["--quick", "--set-baseline", "--out", str(out)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "refusing --set-baseline" in err
+        assert "--force" in err
+        report = json.loads(out.read_text())
+        assert "quick" not in report["modes"]  # nothing written
+
+    def test_force_overrides(self, out):
+        rc = bench_report.main(
+            ["--quick", "--set-baseline", "--force", "--out", str(out)]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["modes"]["quick"]["baseline"]["git"] == "abc1234"
+        # the full-mode section is untouched
+        assert report["modes"]["full"]["baseline"]["git"] == "fullrev"
+
+    def test_same_mode_rerecord_allowed(self, out):
+        rc = bench_report.main(
+            ["--set-baseline", "--out", str(out)]  # full mode, modes match
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["modes"]["full"]["baseline"]["git"] == "abc1234"
+
+    def test_without_set_baseline_no_guard(self, out):
+        rc = bench_report.main(["--quick", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        # first quick run seeds its own baseline; full untouched
+        assert report["modes"]["quick"]["baseline"]["git"] == "abc1234"
+        assert report["modes"]["full"]["baseline"]["git"] == "fullrev"

@@ -15,7 +15,7 @@ class Harness:
         self.config = config or small_config()
         self.amap = AddressMap.from_config(self.config)
         self.events = EventQueue()
-        self.channel = DRAMChannel(0, self.config, self.amap, self.events.push)
+        self.channel = DRAMChannel(0, self.config, self.amap, self.events)
         self.done: list[tuple[int, float, bool]] = []
 
     def request(self, bank: int, row: int, tag: int = 0) -> DRAMRequest:

@@ -49,6 +49,69 @@ class TestEventQueue:
         q.run_until(5.0)
         assert seen == [2.0]
 
+    # -- wheel-horizon boundary ------------------------------------------
+    #
+    # The calendar wheel covers WHEEL_SIZE buckets of 2**BUCKET_SHIFT
+    # cycles.  A push landing *exactly* one horizon ahead (slot - cursor
+    # == WHEEL_SIZE) wraps onto the cursor's own bucket under the slot
+    # mask, so it must route to the overflow heap instead — otherwise it
+    # would run a whole horizon early.
+
+    HORIZON = float((EventQueue.WHEEL_SIZE << EventQueue.BUCKET_SHIFT))
+
+    def test_exact_horizon_push_routes_to_overflow(self):
+        q = EventQueue()
+        q.push(self.HORIZON, lambda t: None)  # slot == cursor + WHEEL_SIZE
+        assert len(q._overflow) == 1
+        assert all(not b for b in q._wheel)
+
+    def test_exact_horizon_event_does_not_run_early(self):
+        q = EventQueue()
+        seen = []
+        q.push(self.HORIZON, lambda t: seen.append(("far", t)))
+        q.push(1.0, lambda t: seen.append(("near", t)))
+        q.run_until(self.HORIZON - 1.0)
+        assert seen == [("near", 1.0)]  # a wrap would have run it at ~0
+        q.run_until(self.HORIZON + 1.0)
+        assert seen == [("near", 1.0), ("far", self.HORIZON)]
+
+    def test_just_inside_horizon_stays_on_wheel(self):
+        q = EventQueue()
+        seen = []
+        last_inside = self.HORIZON - float(1 << EventQueue.BUCKET_SHIFT)
+        q.push(last_inside, lambda t: seen.append(t))
+        assert not q._overflow
+        q.run_until(self.HORIZON)
+        assert seen == [last_inside]
+
+    def test_boundary_after_cursor_advance(self):
+        # The horizon is relative to the cursor, not to time zero: after
+        # the wheel advances, the boundary moves with it.
+        q = EventQueue()
+        q.push(500.0, lambda t: None)
+        q.run_until(600.0)  # cursor now at 600's bucket
+        base = float(q._cursor << EventQueue.BUCKET_SHIFT)
+        q.push(base + self.HORIZON, lambda t: None)
+        assert len(q._overflow) == 1
+        q.push(base + self.HORIZON - float(1 << EventQueue.BUCKET_SHIFT),
+               lambda t: None)
+        assert len(q._overflow) == 1  # just-inside push stayed on the wheel
+
+    def test_ordering_across_horizon_in_segmented_runs(self):
+        q = EventQueue()
+        seen = []
+        times = [self.HORIZON + 17.0, 3.0, self.HORIZON, 7.5,
+                 2 * self.HORIZON + 1.0]
+        for t in times:
+            q.push(t, lambda now, t=t: seen.append(t))
+        step = 1000.0
+        end = 0.0
+        while end < 2 * self.HORIZON + step:
+            end += step
+            q.run_until(end)
+        assert seen == sorted(times)
+        assert len(q) == 0
+
 
 class TestSimulatorConstruction:
     def test_equal_core_split(self, small_cfg):
@@ -132,6 +195,89 @@ class TestRunInvariants:
         result = run_small_pair(small_cfg, "BLK", "BLK")
         assert result.samples[0].insts > 0
         assert result.samples[1].insts > 0
+
+
+class TestWindowConservation:
+    """Window-boundary stats attribution under the folded event paths.
+
+    The event folds (all-hit WARP_RESP fold, multi-line fills, per-core
+    stride chains) batch counter increments and can move an increment's
+    attribution relative to the old one-event-per-hop shapes.  Totals
+    must still be conserved: the per-window deltas sum to the cumulative
+    counters with nothing lost or double-counted at window boundaries,
+    and cutting windows must not perturb the simulation itself.
+    """
+
+    _FIELDS = (
+        "insts", "l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
+        "dram_lines", "mem_requests", "mem_latency_sum", "row_hits",
+        "row_misses",
+    )
+
+    def _run_with_windows(self, small_cfg):
+        from repro.core.controller import StaticController
+
+        snaps = []
+
+        class _Snapshotting(StaticController):
+            def on_window(self, sim, now, windows):
+                snaps.append(
+                    (now, {a: s.copy() for a, s in sim.collector.apps.items()})
+                )
+
+        ctrl = _Snapshotting({0: 8, 1: 8}, sample_period=500)
+        sim = Simulator(
+            small_cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")],
+            controller=ctrl, seed=5,
+        )
+        # Same initial_tlp as the controller's static combo, so the
+        # controller-free twin run below follows an identical warp
+        # trajectory (the controller's start() re-set is then a no-op).
+        result = sim.run(6000, warmup=1000, initial_tlp={0: 8, 1: 8})
+        return sim, result, snaps
+
+    def test_window_sample_totals_match_cumulative(self, small_cfg):
+        sim, result, snaps = self._run_with_windows(small_cfg)
+        assert len(result.windows) >= 10  # the folds were actually crossed
+        last_cut, last_snap = snaps[-1]
+        peak = sim.collector.peak_lines_per_cycle
+        for app in (0, 1):
+            # Raw instruction counts ride in every WindowSample; their
+            # sum over windows must equal the cumulative counter at the
+            # last cut exactly (integers — no tolerance).
+            assert sum(
+                w[app].insts for _, w in result.windows
+            ) == last_snap[app].insts
+            # DRAM lines are reported as normalized bandwidth; undo the
+            # normalization per window and compare the running total.
+            lines = sum(
+                w[app].bw * w[app].cycles * peak for _, w in result.windows
+            )
+            assert lines == pytest.approx(last_snap[app].dram_lines)
+
+    def test_cumulative_deltas_telescope_across_cuts(self, small_cfg):
+        sim, _result, snaps = self._run_with_windows(small_cfg)
+        # Each boundary snapshot is monotone in every counter: an event
+        # folded across a boundary may shift attribution by a window,
+        # but can never make a cumulative counter step backwards.
+        for app in (0, 1):
+            prev = None
+            for _now, snap in snaps:
+                if prev is not None:
+                    for f in self._FIELDS:
+                        assert getattr(snap[app], f) >= getattr(prev[app], f)
+                prev = snap
+
+    def test_window_cutting_does_not_perturb_the_run(self, small_cfg):
+        sim_a, _res, _snaps = self._run_with_windows(small_cfg)
+        sim_b = Simulator(
+            small_cfg, [app_by_abbr("BLK"), app_by_abbr("TRD")], seed=5
+        )
+        sim_b.run(6000, warmup=1000, initial_tlp={0: 8, 1: 8})
+        for app in (0, 1):
+            a, b = sim_a.collector.apps[app], sim_b.collector.apps[app]
+            for f in self._FIELDS:
+                assert getattr(a, f) == getattr(b, f), f
 
 
 class TestTLPActuation:

@@ -390,6 +390,55 @@ class TestSummarizeAggregations:
         assert "settled on (24, 4) after 9 samples" in text
         assert f"no {MANIFEST_FILENAME}" in text
 
+    def _run_dir_with_trace(self, tmp_path):
+        tracer = Tracer("failed-run")
+        tracer.events = _synthetic_events()
+        run_dir = tmp_path / "results" / "traces" / "failed-run"
+        run_dir.mkdir(parents=True)
+        tracer.write(run_dir / "trace.jsonl")
+        return run_dir
+
+    def test_summarize_tolerates_failure_path_manifest(self, tmp_path):
+        # A manifest from a crashed run: null argv/duration, no
+        # finished_at, no per-phase timings, and the listed Chrome
+        # export never landed on disk.  Summarize must degrade to a
+        # partial summary with warnings, not a traceback.
+        run_dir = self._run_dir_with_trace(tmp_path)
+        (run_dir / MANIFEST_FILENAME).write_text(json.dumps({
+            "schema": "repro.obs.manifest",
+            "run_id": "failed-run",
+            "command": "compare",
+            "argv": None,
+            "duration_s": None,
+            "finished_at": "",
+            "phases": None,
+            "files": ["trace.jsonl", "trace.chrome.json"],
+        }))
+        text = summarize("failed-run", root=tmp_path)
+        assert "did not finish cleanly" in text
+        assert "trace.chrome.json" in text and "absent" in text
+        assert "partial summary" in text
+        assert "INCOMPLETE" in text  # required fields still reported
+        assert "evaluate_schemes" in text  # trace sections still render
+
+    def test_summarize_tolerates_corrupt_manifest(self, tmp_path):
+        run_dir = self._run_dir_with_trace(tmp_path)
+        (run_dir / MANIFEST_FILENAME).write_text("{ truncated")
+        text = summarize("failed-run", root=tmp_path)
+        assert "unreadable manifest" in text
+        assert "partial summary" in text
+        assert "2 jobs on 2 worker(s)" in text
+
+    def test_summarize_flags_missing_chrome_export(self, tmp_path):
+        run_dir = self._run_dir_with_trace(tmp_path)
+        (run_dir / MANIFEST_FILENAME).write_text(json.dumps({
+            "schema": "repro.obs.manifest",
+            "run_id": "failed-run",
+            "files": ["trace.jsonl"],
+        }))
+        text = summarize("failed-run", root=tmp_path)
+        assert "no Chrome/Perfetto export" in text
+
     def test_resolve_trace_path_variants(self, tmp_path):
         run_dir = tmp_path / "results" / "traces" / "runx"
         run_dir.mkdir(parents=True)

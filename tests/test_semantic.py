@@ -337,7 +337,7 @@ class TestLifecycleOnRealEngine:
         analysis = analyze_engine(ast.parse(ENGINE_PATH.read_text()))
         assert analysis.findings == []
         # The stage machine was actually extracted, not vacuously empty.
-        assert len(analysis.stages) == 7
+        assert len(analysis.stages) == 8
         assert analysis.handled == set(analysis.stages)
         assert analysis.pooled and analysis.warp_owned
         assert analysis.transitions
@@ -373,6 +373,42 @@ class TestLifecycleOnRealEngine:
         )
         analysis = analyze_engine(ast.parse(mutated))
         assert analysis.findings
+
+    def test_mutation_releasing_chain_follower_trips(self):
+        # The COMPUTE_DONE stride walk rebinds the dispatch parameter
+        # (`txn = nxt`); ownership must follow the chain so releasing a
+        # warp-owned follower record is still caught.
+        source = ENGINE_PATH.read_text()
+        needle = "                txn = nxt\n                now = txn.due\n"
+        assert needle in source, "engine changed: update the mutation seed"
+        mutated = source.replace(
+            needle,
+            needle + "                self._txn_pool.append(txn)\n",
+            1,
+        )
+        analysis = analyze_engine(ast.parse(mutated))
+        assert any(
+            "must never be released" in msg
+            for _, _, msg in analysis.findings
+        )
+
+    def test_mutation_releasing_link_read_trips(self):
+        # Releasing the raw `.link` read (`nxt`) before the walk
+        # advances is the same bug under a different name: the record
+        # belongs to another warp's recurring compute transaction.
+        source = ENGINE_PATH.read_text()
+        needle = "                if nxt is None:\n                    return\n"
+        assert needle in source, "engine changed: update the mutation seed"
+        mutated = source.replace(
+            needle,
+            "                self._txn_pool.append(nxt)\n" + needle,
+            1,
+        )
+        analysis = analyze_engine(ast.parse(mutated))
+        assert any(
+            "must never be released" in msg
+            for _, _, msg in analysis.findings
+        )
 
 
 # --- R010: cross-process races ------------------------------------------------
