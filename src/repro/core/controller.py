@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol
 
 from repro.sim.stats import WindowSample
+from repro.units import Cycles, WholeCycles
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -33,25 +34,25 @@ __all__ = [
 
 #: Latency for relaying sampled counters from the designated memory
 #: partition to the cores (paper §V-E: "a latency of 100 cycles").
-COUNTER_RELAY_CYCLES = 100
+COUNTER_RELAY_CYCLES: WholeCycles = 100
 
 #: Default monitoring-window length per sampled TLP combination.  The
 #: paper empirically found that trends do not change significantly
 #: beyond a window of a few thousand cycles.
-DEFAULT_SAMPLE_PERIOD = 3000
+DEFAULT_SAMPLE_PERIOD: WholeCycles = 3000
 
 
 class TLPController(Protocol):
     """What the simulator requires of a runtime TLP controller."""
 
-    sample_period: float
+    sample_period: Cycles
 
-    def start(self, sim: "Simulator", now: float) -> None:
+    def start(self, sim: "Simulator", now: Cycles) -> None:
         """Called once when simulation begins (set initial TLP here)."""
         ...
 
     def on_window(
-        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+        self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:
         """Called at the end of each sampling window."""
         ...
@@ -60,15 +61,15 @@ class TLPController(Protocol):
 class BaseController:
     """Common helpers: delayed actuation and window bookkeeping."""
 
-    def __init__(self, sample_period: float = DEFAULT_SAMPLE_PERIOD) -> None:
+    def __init__(self, sample_period: Cycles = DEFAULT_SAMPLE_PERIOD) -> None:
         if sample_period <= 0:
             raise ValueError("sample_period must be positive")
-        self.sample_period = sample_period
+        self.sample_period: Cycles = sample_period
         #: structured decision records, cycle-stamped and JSON-native so
         #: they survive the result cache and the trace round-trip intact
         self.decision_log: list[dict] = []
 
-    def note_decision(self, kind: str, now: float, **detail: object) -> None:
+    def note_decision(self, kind: str, now: Cycles, **detail: object) -> None:
         """Append one structured record to the controller's decision log.
 
         ``detail`` values must be JSON-native (lists, not tuples) so
@@ -84,11 +85,11 @@ class BaseController:
             lambda _t, a=app_id, v=tlp: sim.set_tlp(a, v),
         )
 
-    def start(self, sim: "Simulator", now: float) -> None:  # pragma: no cover
+    def start(self, sim: "Simulator", now: Cycles) -> None:  # pragma: no cover
         """Default: leave the initial TLP as the run configured it."""
 
     def on_window(
-        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+        self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -101,16 +102,16 @@ class StaticController(BaseController):
     """
 
     def __init__(
-        self, combo: dict[int, int], sample_period: float = DEFAULT_SAMPLE_PERIOD
+        self, combo: dict[int, int], sample_period: Cycles = DEFAULT_SAMPLE_PERIOD
     ) -> None:
         super().__init__(sample_period)
         self.combo = dict(combo)
 
-    def start(self, sim: "Simulator", now: float) -> None:
+    def start(self, sim: "Simulator", now: Cycles) -> None:
         for app_id, tlp in self.combo.items():
             sim.set_tlp(app_id, tlp)
 
     def on_window(
-        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+        self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:
         pass

@@ -48,6 +48,7 @@ from repro.config import TLP_LEVELS
 from repro.core.controller import BaseController, DEFAULT_SAMPLE_PERIOD
 from repro.metrics.bandwidth import eb_objective
 from repro.sim.stats import WindowSample
+from repro.units import Cycles, FractionOfPeak
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -68,7 +69,7 @@ TUNE_PATIENCE = 2
 class SearchLog:
     """Trace of one PBS search, for analysis and the pattern figures."""
 
-    samples: list[tuple[tuple[int, ...], dict[int, float]]] = field(
+    samples: list[tuple[tuple[int, ...], dict[int, FractionOfPeak]]] = field(
         default_factory=list
     )
     critical_app: int | None = None
@@ -85,13 +86,13 @@ class SearchLog:
         return len(self.samples)
 
 
-Sampler = Generator[tuple[int, ...], dict[int, float], tuple[int, ...]]
+Sampler = Generator[tuple[int, ...], dict[int, FractionOfPeak], tuple[int, ...]]
 
 
 def pbs_search(
     metric: str,
     n_apps: int,
-    scale: Sequence[float] | None = None,
+    scale: Sequence[FractionOfPeak] | None = None,
     levels: Sequence[int] = TLP_LEVELS,
     probe_levels: Sequence[int] = PROBE_LEVELS,
     log: SearchLog | None = None,
@@ -109,13 +110,17 @@ def pbs_search(
     if n_apps < 2:
         raise ValueError("PBS manages multi-application workloads (n_apps >= 2)")
     log = log if log is not None else SearchLog()
-    memo: dict[tuple[int, ...], dict[int, float]] = {}
+    memo: dict[tuple[int, ...], dict[int, FractionOfPeak]] = {}
     max_level = levels[-1]
 
-    def objective(ebs: dict[int, float]) -> float:
+    def objective(ebs: dict[int, FractionOfPeak]) -> FractionOfPeak:
         return eb_objective(metric, [ebs[a] for a in range(n_apps)], scale)
 
-    def sample(combo: tuple[int, ...]) -> Generator[tuple[int, ...], dict[int, float], dict[int, float]]:
+    def sample(
+        combo: tuple[int, ...],
+    ) -> Generator[
+        tuple[int, ...], dict[int, FractionOfPeak], dict[int, FractionOfPeak]
+    ]:
         if combo in memo:
             return memo[combo]
         ebs = yield combo
@@ -132,9 +137,9 @@ def pbs_search(
         return ebs
 
     # --- stage 1: probe each application with co-runners at maxTLP -----
-    sweeps: dict[int, list[float]] = {}
+    sweeps: dict[int, list[FractionOfPeak]] = {}
     for app in range(n_apps):
-        series: list[float] = []
+        series: list[FractionOfPeak] = []
         for level in probe_levels:
             combo = tuple(level if a == app else max_level for a in range(n_apps))
             ebs = yield from sample(combo)
@@ -142,13 +147,13 @@ def pbs_search(
         sweeps[app] = series
 
     # --- stage 2: criticality and the inflection point -------------------
-    def criticality(series: list[float]) -> float:
+    def criticality(series: list[FractionOfPeak]) -> FractionOfPeak:
         if metric == "fi":
             return max(series) - min(series)  # how much this app moves balance
         drops = [series[k] - series[k + 1] for k in range(len(series) - 1)]
         return max(drops) if drops else 0.0
 
-    def fix_level_of(series: list[float]) -> int:
+    def fix_level_of(series: list[FractionOfPeak]) -> int:
         if metric == "fi":
             return probe_levels[max(range(len(series)), key=series.__getitem__)]
         drops = [series[k] - series[k + 1] for k in range(len(series) - 1)]
@@ -269,8 +274,8 @@ class PBSController(BaseController):
         self,
         metric: str,
         n_apps: int = 2,
-        scale: str | Sequence[float] | None = None,
-        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        scale: str | Sequence[FractionOfPeak] | None = None,
+        sample_period: Cycles = DEFAULT_SAMPLE_PERIOD,
         levels: Sequence[int] = TLP_LEVELS,
         probe_levels: Sequence[int] = PROBE_LEVELS,
         warmup_windows: int = 10,
@@ -286,21 +291,21 @@ class PBSController(BaseController):
         self.scale_mode = scale
         self.log = SearchLog()
         self.search_count = 0
-        self._scale: list[float] | None = (
+        self._scale: list[FractionOfPeak] | None = (
             list(scale) if isinstance(scale, (list, tuple)) else None
         )
         self._scale_pending: list[int] = []
         self._stamped = 0  # log.decisions already copied to decision_log
         self._search: Sampler | None = None
         self._settled = False
-        self._settled_obj: float | None = None
+        self._settled_obj: FractionOfPeak | None = None
         self._drift = 0
         self._skip = 0
-        self._acc: list[dict[int, float]] = []
+        self._acc: list[dict[int, FractionOfPeak]] = []
 
     # --- lifecycle -----------------------------------------------------
 
-    def start(self, sim: "Simulator", now: float) -> None:
+    def start(self, sim: "Simulator", now: Cycles) -> None:
         if self.scale_mode == "sampled" and self.metric in ("fi", "hs"):
             self._scale = [0.0] * self.n_apps
             self._scale_pending = list(range(self.n_apps))
@@ -318,7 +323,7 @@ class PBSController(BaseController):
         self._skip = self.SETTLE_WINDOWS
         self._acc = []
 
-    def _sync_search_log(self, now: float) -> None:
+    def _sync_search_log(self, now: Cycles) -> None:
         """Copy fresh search records to the decision log, cycle-stamped.
 
         ``pbs_search`` is a pure generator with no notion of time; the
@@ -329,7 +334,7 @@ class PBSController(BaseController):
             self.decision_log.append({**record, "cycle": now})
         self._stamped = len(self.log.decisions)
 
-    def _begin_search(self, sim: "Simulator", now: float) -> None:
+    def _begin_search(self, sim: "Simulator", now: Cycles) -> None:
         self.search_count += 1
         self.log = SearchLog()
         self._stamped = 0
@@ -355,7 +360,9 @@ class PBSController(BaseController):
 
     # --- per-window ------------------------------------------------------
 
-    def _collect(self, windows: dict[int, WindowSample]) -> dict[int, float] | None:
+    def _collect(
+        self, windows: dict[int, WindowSample]
+    ) -> dict[int, FractionOfPeak] | None:
         """Accumulate measure windows; return their mean when complete."""
         self._acc.append({a: windows[a].eb for a in range(self.n_apps)})
         if len(self._acc) < self.MEASURE_WINDOWS:
@@ -368,7 +375,7 @@ class PBSController(BaseController):
         return mean
 
     def on_window(
-        self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
+        self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:
         if self._skip > 0:
             self._skip -= 1

@@ -26,6 +26,7 @@ from repro.devtools.suppressions import (
 
 __all__ = [
     "lint_paths",
+    "changed_files",
     "add_arguments",
     "build_parser",
     "run",
@@ -93,21 +94,63 @@ def _parse_file(path: Path, root: Path) -> FileContext | Finding:
     return FileContext(path=path.resolve(), relpath=relpath, source=source, tree=tree)
 
 
+def changed_files(root: Path, ref: str = "HEAD") -> set[str]:
+    """Repo-relative paths of ``.py`` files changed since ``ref``.
+
+    The set is git's view: ``git diff --name-only ref`` (staged and
+    unstaged edits against the ref) plus untracked, non-ignored files.
+    Raises :class:`RuntimeError` when git cannot answer (no repo, bad
+    ref) — the CLI maps that to a usage error, exit code 2.
+    """
+    import subprocess
+
+    changed: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=False
+            )
+        except OSError as exc:  # git binary missing
+            raise RuntimeError(f"cannot run git: {exc}") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise RuntimeError(
+                f"`{' '.join(cmd)}` failed"
+                + (f": {detail[0]}" if detail else "")
+            )
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     *,
     root: Path | None = None,
     select: Sequence[str] | None = None,
     semantic_cache: bool = True,
+    changed: set[str] | None = None,
+    jobs: int | None = None,
     _project_out: list[ProjectContext] | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` (files or directories), returning sorted findings.
 
     ``semantic_cache=False`` disables the per-file analysis cache under
     ``<root>/.lint-cache/`` (the semantic rules then re-summarize every
-    file).  ``_project_out``, when given, receives the built
-    :class:`ProjectContext` so the CLI can reuse the memoized project
-    graph for ``--graph`` without a second build.
+    file).  ``changed``, when given, narrows the *report* to findings
+    in those repo-relative paths: file rules skip other files outright,
+    and project rules still analyze the whole tree (cross-file findings
+    need it) but only findings located in changed files are returned.
+    ``jobs`` parallelizes semantic summarization (byte-identical
+    findings either way).  ``_project_out``, when given, receives the
+    built :class:`ProjectContext` so the CLI can reuse the memoized
+    project graph for ``--graph`` without a second build.
     """
     path_objs = [Path(p) for p in paths]
     if root is None:
@@ -119,7 +162,8 @@ def lint_paths(
     for path in iter_python_files(path_objs):
         parsed = _parse_file(path, root)
         if isinstance(parsed, Finding):
-            findings.append(parsed)
+            if changed is None or parsed.path in changed:
+                findings.append(parsed)
         else:
             contexts.append(parsed)
 
@@ -130,6 +174,8 @@ def lint_paths(
         for ctx in contexts
     }
     for ctx in contexts:
+        if changed is not None and str(ctx.relpath) not in changed:
+            continue
         for rule in rules:
             if rule.scope != "file":
                 continue
@@ -142,12 +188,16 @@ def lint_paths(
     project = ProjectContext(root=root, files=contexts)
     if not semantic_cache:
         project.semantic_cache_path = None  # type: ignore[attr-defined]
+    if jobs is not None:
+        project.semantic_jobs = jobs  # type: ignore[attr-defined]
     if _project_out is not None:
         _project_out.append(project)
     for rule in rules:
         if rule.scope != "project":
             continue
         for finding in rule.check_project(project):
+            if changed is not None and finding.path not in changed:
+                continue
             kept = filter_suppressed(
                 [finding], suppressions.get(finding.path, {})
             )
@@ -249,6 +299,26 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the per-file semantic analysis cache "
         "(<root>/.lint-cache/)",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="only report findings in files changed since REF "
+        "(git diff + untracked; REF defaults to HEAD). Project-wide "
+        "analyses still see the whole tree, so cross-file findings "
+        "stay correct — only the report is narrowed.",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize semantic summarization over N worker "
+        "processes (default: serial; findings are byte-identical "
+        "either way)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -299,6 +369,23 @@ def run(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [s.strip().upper() for s in args.select.split(",") if s.strip()]
+
+    changed: set[str] | None = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(
+                root or find_root(Path(args.paths[0])), args.changed
+            )
+        except RuntimeError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+        if not changed:
+            print(
+                f"no Python files changed since {args.changed}; "
+                "nothing to lint"
+            )
+            return 0
+
     project_out: list[ProjectContext] = []
     try:
         findings = lint_paths(
@@ -306,6 +393,8 @@ def run(args: argparse.Namespace) -> int:
             root=root,
             select=select,
             semantic_cache=not args.no_semantic_cache,
+            changed=changed,
+            jobs=args.jobs,
             _project_out=project_out,
         )
     except ValueError as exc:  # unknown --select ids
@@ -366,6 +455,14 @@ def _dump_graphs(project: ProjectContext, graph_dir: Path | None) -> list[Path]:
             stage_path, json.dumps(analysis.to_dict(), indent=2) + "\n"
         )
         written.append(stage_path)
+
+    from repro.devtools.semantic.units import units_graph_doc
+
+    units_path = out_dir / "units_graph.json"
+    atomic_write_text(
+        units_path, json.dumps(units_graph_doc(project), indent=2) + "\n"
+    )
+    written.append(units_path)
     return written
 
 

@@ -6,7 +6,7 @@ that defines a :class:`~repro.devtools.registry.LintRule` subclass
 decorated with ``@register``, and importing it below.
 
 The per-file rules (R001–R008) live in this package; the whole-program
-semantic rules (R009–R011) live in :mod:`repro.devtools.semantic` and
+semantic rules (R009–R013) live in :mod:`repro.devtools.semantic` and
 are imported here for the same register-on-import effect.
 """
 
@@ -21,9 +21,11 @@ from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
     picklability,
 )
 from repro.devtools.semantic import (  # noqa: F401  (import-for-effect)
+    clockdomains,
     lifecycle,
     races,
     typedcore,
+    units,
 )
 
 __all__ = [
@@ -38,4 +40,6 @@ __all__ = [
     "lifecycle",
     "races",
     "typedcore",
+    "units",
+    "clockdomains",
 ]

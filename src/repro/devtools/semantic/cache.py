@@ -13,6 +13,15 @@ The store lives under ``<root>/.lint-cache/`` (git-ignored), never under
 guarded by the R006 atomic-write rule.  Writes still go through a
 temp-file + :func:`os.replace` so a crashed lint run cannot leave a
 truncated cache behind.
+
+The cache key is *(content digest, analysis versions)*: editing a
+source file invalidates that file's entry (by digest), and editing an
+*analysis* — the summary extractor or any rule whose inputs are cached
+— invalidates the whole store via the ``analysis_versions`` fingerprint
+(a dict of per-component version ints; see
+:func:`repro.devtools.semantic.graph.analysis_versions`).  Before this
+fingerprint existed, bumping a rule served stale findings until the
+source files happened to change.
 """
 
 from __future__ import annotations
@@ -45,10 +54,17 @@ class AnalysisCache:
     never wrong.
     """
 
-    def __init__(self, path: Path | None) -> None:
+    def __init__(
+        self,
+        path: Path | None,
+        versions: dict[str, int] | None = None,
+    ) -> None:
         #: ``None`` disables persistence (used by unit tests and
         #: ``--no-semantic-cache``); lookups then always miss.
         self.path = path
+        #: Per-analysis version fingerprint; a stored cache written
+        #: under a different fingerprint is discarded wholesale.
+        self.versions = dict(versions) if versions else {}
         self.hits = 0
         self.misses = 0
         self._entries: dict[str, Any] = {}
@@ -58,7 +74,11 @@ class AnalysisCache:
                 doc = json.loads(path.read_text())
             except (OSError, ValueError):
                 doc = None
-            if isinstance(doc, dict) and doc.get("version") == CACHE_VERSION:
+            if (
+                isinstance(doc, dict)
+                and doc.get("version") == CACHE_VERSION
+                and doc.get("analysis_versions", {}) == self.versions
+            ):
                 entries = doc.get("entries")
                 if isinstance(entries, dict):
                     self._entries = entries
@@ -90,7 +110,11 @@ class AnalysisCache:
         """Persist the cache (atomic replace; best-effort on failure)."""
         if self.path is None or not self._dirty:
             return
-        doc = {"version": CACHE_VERSION, "entries": self._entries}
+        doc = {
+            "version": CACHE_VERSION,
+            "analysis_versions": self.versions,
+            "entries": self._entries,
+        }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(

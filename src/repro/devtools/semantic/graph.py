@@ -36,7 +36,12 @@ from repro.devtools.semantic.summary import FileSummary, FunctionInfo, summarize
 if TYPE_CHECKING:  # pragma: no cover
     from repro.devtools.context import FileContext
 
-__all__ = ["ProjectGraph", "build_graph", "graph_for_project"]
+__all__ = [
+    "ProjectGraph",
+    "analysis_versions",
+    "build_graph",
+    "graph_for_project",
+]
 
 #: Cache location relative to the project root; *not* under results/
 #: (the results tree is reserved for simulation products, R006).
@@ -178,37 +183,95 @@ class ProjectGraph:
         }
 
 
-def _summary_for(
-    ctx: "FileContext", cache: AnalysisCache | None
-) -> FileSummary | None:
-    module = ctx.module
-    if module is None:
-        return None
-    if cache is not None:
-        digest = content_digest(ctx.source)
-        doc = cache.get(digest)
-        if doc is not None and doc.get("module") == module:
-            return FileSummary.from_dict(doc)
-        summary = summarize_file(module, str(ctx.relpath), ctx.tree)
-        cache.put(digest, summary.to_dict())
-        return summary
-    return summarize_file(module, str(ctx.relpath), ctx.tree)
+def analysis_versions() -> dict[str, int]:
+    """Per-analysis version fingerprint for the :class:`AnalysisCache`.
+
+    Every semantic component whose inputs flow through cached summaries
+    declares an ``ANALYSIS_VERSION``; bumping any of them discards the
+    cache wholesale, so editing a *rule* re-analyzes instead of serving
+    findings computed by its previous self.  (Lazy imports: the rule
+    modules import this one.)
+    """
+    from repro.devtools.semantic import (
+        clockdomains, lifecycle, races, summary, typedcore, units,
+    )
+
+    return {
+        "summary": summary.ANALYSIS_VERSION,
+        "lifecycle": lifecycle.ANALYSIS_VERSION,
+        "races": races.ANALYSIS_VERSION,
+        "typedcore": typedcore.ANALYSIS_VERSION,
+        "units": units.ANALYSIS_VERSION,
+        "clockdomains": clockdomains.ANALYSIS_VERSION,
+    }
+
+
+def _summarize_source_job(spec: tuple[str, str, str]) -> dict:
+    """Pool worker: summarize one file from raw source (picklable spec
+    ``(module, path, source)``; the AST cannot cross the pickle
+    boundary, so workers re-parse — the parse is the cheap part)."""
+    module, path, source = spec
+    return summarize_file(module, path, ast.parse(source)).to_dict()
+
+
+def _summaries_for(
+    files: "list[FileContext]",
+    cache: AnalysisCache | None,
+    jobs: int | None,
+) -> dict[int, FileSummary]:
+    """Index-keyed summaries for the batch, cache-aware.
+
+    Cache misses fan out over :func:`repro.exec.run_jobs` when ``jobs``
+    asks for parallelism; ``run_jobs`` preserves spec order, so the
+    result (and everything derived from it) is byte-identical to the
+    serial path.
+    """
+    summaries: dict[int, FileSummary] = {}
+    misses: list[tuple[int, "FileContext"]] = []
+    for i, ctx in enumerate(files):
+        if ctx.module is None:
+            continue
+        if cache is not None:
+            doc = cache.get(content_digest(ctx.source))
+            if doc is not None and doc.get("module") == ctx.module:
+                summaries[i] = FileSummary.from_dict(doc)
+                continue
+        misses.append((i, ctx))
+    if jobs is not None and jobs != 1 and len(misses) > 1:
+        from repro.exec import run_jobs
+
+        specs = [
+            (ctx.module, str(ctx.relpath), ctx.source) for _, ctx in misses
+        ]
+        docs = run_jobs(_summarize_source_job, specs, n_jobs=jobs)
+        for (i, ctx), doc in zip(misses, docs):
+            if cache is not None:
+                cache.put(content_digest(ctx.source), doc)
+            summaries[i] = FileSummary.from_dict(doc)
+    else:
+        for i, ctx in misses:
+            summary = summarize_file(ctx.module, str(ctx.relpath), ctx.tree)
+            if cache is not None:
+                cache.put(content_digest(ctx.source), summary.to_dict())
+            summaries[i] = summary
+    return summaries
 
 
 def build_graph(
-    files: "list[FileContext]", cache: AnalysisCache | None = None
+    files: "list[FileContext]",
+    cache: AnalysisCache | None = None,
+    jobs: int | None = None,
 ) -> ProjectGraph:
     """Build the :class:`ProjectGraph` for a batch of parsed files.
 
     Files outside the module roots (no layer identity) are skipped;
     test files participate so worker functions defined in tests resolve,
-    but nothing forces them to.
+    but nothing forces them to.  ``jobs`` parallelizes summarization of
+    cache misses (summaries are picklable JSON); findings built from
+    the graph stay byte-identical to a serial build.
     """
     graph = ProjectGraph()
-    for ctx in files:
-        summary = _summary_for(ctx, cache)
-        if summary is None:
-            continue
+    for _i, summary in sorted(_summaries_for(files, cache, jobs).items()):
         graph.modules[summary.module] = summary
         for qual, info in summary.functions.items():
             key = f"{summary.module}.{qual}"
@@ -271,8 +334,13 @@ def graph_for_project(project: Any) -> ProjectGraph:
         cache_path = project.semantic_cache_path
     else:
         cache_path = project.root / CACHE_RELPATH
-    cache = AnalysisCache(cache_path) if cache_path is not None else None
-    graph = build_graph(project.files, cache)
+    cache = (
+        AnalysisCache(cache_path, versions=analysis_versions())
+        if cache_path is not None
+        else None
+    )
+    jobs = getattr(project, "semantic_jobs", None)
+    graph = build_graph(project.files, cache, jobs=jobs)
     project._semantic_graph = graph
     return graph
 

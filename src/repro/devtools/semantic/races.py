@@ -46,7 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.devtools.context import ProjectContext
     from repro.devtools.semantic.summary import FileSummary, FunctionInfo
 
-__all__ = ["RaceRule"]
+__all__ = ["ANALYSIS_VERSION", "RaceRule"]
+
+#: Version of the race analysis; part of the AnalysisCache key.
+ANALYSIS_VERSION = 1
 
 #: Resolved callees that install ambient per-process state.  A worker
 #: calling one of these configures only its own child process.

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.units import Fraction, FractionOfPeak
+
 __all__ = [
     "EPS",
     "combined_miss_rate",
@@ -49,7 +51,9 @@ __all__ = [
 EPS = 1e-12
 
 
-def combined_miss_rate(l1_miss_rate: float, l2_miss_rate: float) -> float:
+def combined_miss_rate(
+    l1_miss_rate: Fraction, l2_miss_rate: Fraction
+) -> Fraction:
     """CMR: product of L1 and L2 miss rates."""
     for mr in (l1_miss_rate, l2_miss_rate):
         if not 0.0 <= mr <= 1.0:
@@ -57,7 +61,7 @@ def combined_miss_rate(l1_miss_rate: float, l2_miss_rate: float) -> float:
     return l1_miss_rate * l2_miss_rate
 
 
-def effective_bandwidth(bw: float, cmr: float) -> float:
+def effective_bandwidth(bw: FractionOfPeak, cmr: Fraction) -> FractionOfPeak:
     """EB: attained bandwidth amplified by the caches (BW / CMR)."""
     if bw < 0:
         raise ValueError("bandwidth cannot be negative")
@@ -70,7 +74,9 @@ def effective_bandwidth(bw: float, cmr: float) -> float:
     return bw / cmr
 
 
-def _scaled(ebs: Sequence[float], scale: Sequence[float] | None) -> list[float]:
+def _scaled(
+    ebs: Sequence[FractionOfPeak], scale: Sequence[FractionOfPeak] | None
+) -> list[FractionOfPeak]:
     if scale is None:
         return list(ebs)
     if len(scale) != len(ebs):
@@ -80,14 +86,16 @@ def _scaled(ebs: Sequence[float], scale: Sequence[float] | None) -> list[float]:
     return [e / s for e, s in zip(ebs, scale)]
 
 
-def eb_ws(ebs: Sequence[float]) -> float:
+def eb_ws(ebs: Sequence[FractionOfPeak]) -> FractionOfPeak:
     """EB-WS: total effective bandwidth across co-runners."""
     if not ebs:
         raise ValueError("need at least one EB value")
     return float(sum(ebs))
 
 
-def eb_fi(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
+def eb_fi(
+    ebs: Sequence[FractionOfPeak], scale: Sequence[FractionOfPeak] | None = None
+) -> Fraction:
     """EB-FI: balance of (optionally alone-scaled) effective bandwidths."""
     values = _scaled(ebs, scale)
     if not values:
@@ -100,7 +108,9 @@ def eb_fi(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
     return min(values) / top
 
 
-def eb_hs(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
+def eb_hs(
+    ebs: Sequence[FractionOfPeak], scale: Sequence[FractionOfPeak] | None = None
+) -> FractionOfPeak:
     """EB-HS: harmonic mean of (optionally alone-scaled) EBs."""
     values = _scaled(ebs, scale)
     if not values:
@@ -111,8 +121,10 @@ def eb_hs(ebs: Sequence[float], scale: Sequence[float] | None = None) -> float:
 
 
 def eb_objective(
-    kind: str, ebs: Sequence[float], scale: Sequence[float] | None = None
-) -> float:
+    kind: str,
+    ebs: Sequence[FractionOfPeak],
+    scale: Sequence[FractionOfPeak] | None = None,
+) -> FractionOfPeak:
     """Dispatch on the EB metric name: ``"ws"``, ``"fi"``, or ``"hs"``.
 
     EB-WS deliberately ignores the scaling factors: the paper found the

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.units import Fraction, Ipc
+
 __all__ = [
     "slowdown",
     "weighted_speedup",
@@ -26,7 +28,7 @@ __all__ = [
 ]
 
 
-def slowdown(ipc_shared: float, ipc_alone: float) -> float:
+def slowdown(ipc_shared: Ipc, ipc_alone: Ipc) -> Fraction:
     """SD of one application: shared IPC over alone IPC (at bestTLP)."""
     if ipc_alone <= 0:
         raise ValueError("alone IPC must be positive")
@@ -35,13 +37,13 @@ def slowdown(ipc_shared: float, ipc_alone: float) -> float:
     return ipc_shared / ipc_alone
 
 
-def weighted_speedup(sds: Sequence[float]) -> float:
+def weighted_speedup(sds: Sequence[Fraction]) -> Fraction:
     """WS: the sum of per-application slowdowns."""
     _check(sds)
     return float(sum(sds))
 
 
-def fairness_index(sds: Sequence[float]) -> float:
+def fairness_index(sds: Sequence[Fraction]) -> Fraction:
     """FI: the worst pairwise slowdown imbalance, min(SD)/max(SD)."""
     _check(sds)
     if any(s < 0 for s in sds):
@@ -52,7 +54,7 @@ def fairness_index(sds: Sequence[float]) -> float:
     return min(sds) / top
 
 
-def harmonic_speedup(sds: Sequence[float]) -> float:
+def harmonic_speedup(sds: Sequence[Fraction]) -> Fraction:
     """HS: harmonic mean of slowdowns (throughput + fairness in one)."""
     _check(sds)
     if any(s <= 0 for s in sds):
@@ -60,7 +62,7 @@ def harmonic_speedup(sds: Sequence[float]) -> float:
     return len(sds) / sum(1.0 / s for s in sds)
 
 
-def sd_objective(kind: str, sds: Sequence[float]) -> float:
+def sd_objective(kind: str, sds: Sequence[Fraction]) -> Fraction:
     """Dispatch on the metric name: ``"ws"``, ``"fi"``, or ``"hs"``."""
     if kind == "ws":
         return weighted_speedup(sds)
@@ -71,6 +73,6 @@ def sd_objective(kind: str, sds: Sequence[float]) -> float:
     raise ValueError(f"unknown SD objective {kind!r}")
 
 
-def _check(sds: Sequence[float]) -> None:
+def _check(sds: Sequence[Fraction]) -> None:
     if not sds:
         raise ValueError("need at least one slowdown")

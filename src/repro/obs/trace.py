@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.obs.io import atomic_write_text, read_jsonl
+from repro.units import TraceTicks, WallMicroseconds, WallSeconds
 
 __all__ = [
     "CLOCK_CYCLES",
@@ -75,9 +76,9 @@ class Event:
     name: str
     cat: str
     ph: str  # "X" complete span | "i" instant | "C" counter
-    ts: float
+    ts: TraceTicks
     clock: str = CLOCK_WALL
-    dur: float = 0.0
+    dur: TraceTicks = 0.0
     tid: int = 0
     args: dict = field(default_factory=dict)
 
@@ -123,12 +124,12 @@ class Tracer:
     def __init__(self, run_id: str = "run") -> None:
         self.run_id = run_id
         self.events: list[Event] = []
-        self._origin = time.perf_counter()
+        self._origin: WallSeconds = time.perf_counter()
         self._depth = 0
 
     # --- clocks --------------------------------------------------------
 
-    def now_us(self) -> float:
+    def now_us(self) -> WallMicroseconds:
         """Microseconds of wall time since the tracer was created."""
         return (time.perf_counter() - self._origin) * 1e6
 
@@ -164,8 +165,8 @@ class Tracer:
     def complete(
         self,
         name: str,
-        ts: float,
-        dur: float,
+        ts: TraceTicks,
+        dur: TraceTicks,
         *,
         cat: str = "host",
         clock: str = CLOCK_WALL,
@@ -184,7 +185,7 @@ class Tracer:
         *,
         cat: str = "host",
         clock: str = CLOCK_WALL,
-        ts: float | None = None,
+        ts: TraceTicks | None = None,
         **args: object,
     ) -> None:
         """Record a point event (wall-stamped unless ``ts`` is given)."""
@@ -204,7 +205,7 @@ class Tracer:
         name: str,
         values: dict,
         *,
-        ts: float,
+        ts: TraceTicks,
         cat: str = "sim",
         clock: str = CLOCK_CYCLES,
     ) -> None:
@@ -275,7 +276,7 @@ class NullTracer:
     enabled = False
     run_id = ""
 
-    def now_us(self) -> float:
+    def now_us(self) -> WallMicroseconds:
         return 0.0
 
     def span(self, name: str, cat: str = "host", **args: object) -> _NullSpan:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.units import Bytes, BytesPerLine, Count, Fraction
+
 __all__ = ["CacheStats", "SetAssocCache", "MSHRTable"]
 
 
@@ -21,8 +23,8 @@ __all__ = ["CacheStats", "SetAssocCache", "MSHRTable"]
 class CacheStats:
     """Access/miss counters, totals and per-application."""
 
-    accesses: int = 0
-    misses: int = 0
+    accesses: Count = 0
+    misses: Count = 0
     accesses_by_app: dict[int, int] = field(default_factory=dict)
     misses_by_app: dict[int, int] = field(default_factory=dict)
 
@@ -33,7 +35,7 @@ class CacheStats:
             self.misses += 1
             self.misses_by_app[app_id] = self.misses_by_app.get(app_id, 0) + 1
 
-    def miss_rate(self, app_id: int | None = None) -> float:
+    def miss_rate(self, app_id: int | None = None) -> Fraction:
         """Miss rate overall, or for one application.
 
         Returns 1.0 when there were no accesses: a cache that was never
@@ -64,12 +66,12 @@ class SetAssocCache:
         "way_quota",
     )
 
-    def __init__(self, n_sets: int, assoc: int, line_bytes: int) -> None:
+    def __init__(self, n_sets: int, assoc: int, line_bytes: BytesPerLine) -> None:
         if n_sets <= 0 or assoc <= 0:
             raise ValueError("cache must have positive sets and associativity")
         self.n_sets = n_sets
         self.assoc = assoc
-        self.line_bytes = line_bytes
+        self.line_bytes: BytesPerLine = line_bytes
         self.stats = CacheStats()
         self._sets: list[dict[int, int]] = [{} for _ in range(n_sets)]
         #: applications whose fills are currently bypassed
@@ -79,14 +81,14 @@ class SetAssocCache:
         #: a set evicts its own LRU line instead of the global LRU.
         self.way_quota: dict[int, int] = {}
 
-    def set_index(self, line_addr: int) -> int:
+    def set_index(self, line_addr: Bytes) -> int:
         return (line_addr // self.line_bytes) % self.n_sets
 
-    def probe(self, line_addr: int) -> bool:
+    def probe(self, line_addr: Bytes) -> bool:
         """Check residency without touching LRU state or statistics."""
         return line_addr in self._sets[self.set_index(line_addr)]
 
-    def access(self, line_addr: int, app_id: int) -> bool:
+    def access(self, line_addr: Bytes, app_id: int) -> bool:
         """Look up ``line_addr``; returns True on hit.
 
         A hit updates LRU recency.  A miss records statistics only; the
@@ -110,7 +112,7 @@ class SetAssocCache:
             by_app[app_id] = by_app.get(app_id, 0) + 1
         return hit
 
-    def fill(self, line_addr: int, app_id: int) -> int | None:
+    def fill(self, line_addr: Bytes, app_id: int) -> int | None:
         """Install a line, evicting the LRU line of the set if needed.
 
         Returns the evicted line address (or None).  Fills from bypassed
@@ -137,7 +139,7 @@ class SetAssocCache:
         line_set[line_addr] = app_id
         return victim
 
-    def invalidate_app(self, app_id: int) -> int:
+    def invalidate_app(self, app_id: int) -> Count:
         """Drop every line owned by ``app_id``; returns lines dropped."""
         dropped = 0
         for line_set in self._sets:
@@ -173,16 +175,16 @@ class MSHRTable:
     def __init__(self, n_entries: int) -> None:
         self.n_entries = n_entries
         self._pending: dict[int, list[object]] = {}
-        self.merges = 0
-        self.allocation_failures = 0
+        self.merges: Count = 0
+        self.allocation_failures: Count = 0
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def lookup(self, line_addr: int) -> bool:
+    def lookup(self, line_addr: Bytes) -> bool:
         return line_addr in self._pending
 
-    def allocate(self, line_addr: int, waiter: object) -> str:
+    def allocate(self, line_addr: Bytes, waiter: object) -> str:
         """Register ``waiter`` for ``line_addr``.
 
         Returns ``"new"`` if a lower-level request must be sent,
@@ -200,6 +202,6 @@ class MSHRTable:
         self._pending[line_addr] = [waiter]
         return "new"
 
-    def release(self, line_addr: int) -> list[object]:
+    def release(self, line_addr: Bytes) -> list[object]:
         """Fill arrived: free the entry and return all merged waiters."""
         return self._pending.pop(line_addr, [])

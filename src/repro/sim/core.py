@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol
 
 from repro.config import GPUConfig
+from repro.units import Cycles, Insts, InstsPerCycle
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import MemTxn
@@ -67,7 +68,7 @@ class Warp:
         #: outstanding memory responses for the current memory instruction
         self.pending = 0
         #: time the in-flight memory instruction was issued (for latency)
-        self.issue_time = 0.0
+        self.issue_time: Cycles = 0.0
         self.iterations = 0
         #: the warp's recurring engine transactions (compute-phase
         #: completion and L1-hit response); at most one of each is ever
@@ -89,17 +90,19 @@ class IssueServer:
 
     __slots__ = ("issue_width", "free_at")
 
-    def __init__(self, issue_width: float) -> None:
+    def __init__(self, issue_width: InstsPerCycle) -> None:
         if issue_width <= 0:
             raise ValueError("issue_width must be positive")
-        self.issue_width = issue_width
-        self.free_at = 0.0
+        self.issue_width: InstsPerCycle = issue_width
+        self.free_at: Cycles = 0.0
 
-    def request(self, now: float, n_inst: int) -> float:
+    def request(self, now: Cycles, n_inst: Insts) -> Cycles:
         start = now if now > self.free_at else self.free_at
         self.free_at = start + n_inst / self.issue_width
         finish = self.free_at
-        min_finish = now + n_inst  # 1 IPC per-warp ceiling
+        # 1 IPC per-warp ceiling: n_inst deliberately converts to cycles
+        # at the 1-inst-per-cycle retire limit.
+        min_finish = now + n_inst  # repro: noqa[R012]
         return finish if finish > min_finish else min_finish
 
 
@@ -121,7 +124,7 @@ class Core:
         #: same instant coalesces into it (engine fold, see
         #: ``MemTxn.L1_FILL_MULTI``).  Cleared when the event dispatches.
         self.fill_txn: "MemTxn | None" = None
-        self.fill_time = -1.0
+        self.fill_time: Cycles = -1.0
         #: open per-core compute stride chain: head/tail of the linked
         #: chain of same-instant compute records riding one queued
         #: event (engine fold, see ``Simulator._start_warp``).  Cleared

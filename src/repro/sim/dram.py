@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.config import GPUConfig
 from repro.sim.address import AddressMap
+from repro.units import Count, Cycles, Fraction, Lines
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import EventQueue
@@ -56,7 +57,7 @@ class DRAMRequest:
         app_id: int,
         bank: int,
         row: int,
-        enqueue_time: float,
+        enqueue_time: Cycles,
         callback: Callable[["DRAMRequest", float], None],
     ) -> None:
         self.line_addr = line_addr
@@ -67,7 +68,7 @@ class DRAMRequest:
         self.callback = callback
         self.row_hit = False
 
-    def __call__(self, now: float) -> None:
+    def __call__(self, now: Cycles) -> None:
         self.callback(self, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -82,8 +83,8 @@ class _Bank:
 
     def __init__(self) -> None:
         self.open_row: int | None = None
-        self.free_at = 0.0
-        self.ras_until = 0.0
+        self.free_at: Cycles = 0.0
+        self.ras_until: Cycles = 0.0
 
 
 class DRAMChannel:
@@ -120,14 +121,14 @@ class DRAMChannel:
         # Timing scalars, flattened off the config once (the attribute
         # chain through ``self.timings`` is per-decision cost otherwise).
         t = config.dram
-        self._t_ccd = t.t_ccd
-        self._t_cl = t.t_cl
-        self._t_rp = t.t_rp
-        self._t_rcd = t.t_rcd
-        self._t_ras = t.t_ras
-        self._t_rrd = t.t_rrd
-        self._burst = t.burst_cycles
-        self._lookahead = t.row_miss_service + t.burst_cycles
+        self._t_ccd: Cycles = t.t_ccd
+        self._t_cl: Cycles = t.t_cl
+        self._t_rp: Cycles = t.t_rp
+        self._t_rcd: Cycles = t.t_rcd
+        self._t_ras: Cycles = t.t_ras
+        self._t_rrd: Cycles = t.t_rrd
+        self._burst: Cycles = t.burst_cycles
+        self._lookahead: Cycles = t.row_miss_service + t.burst_cycles
         #: called after each dequeue so a backpressured upstream (the L2
         #: miss path) can re-drive a deferred request
         self.on_dequeue: Callable[[float], None] | None = None
@@ -138,19 +139,19 @@ class DRAMChannel:
         self._banks = [_Bank() for _ in range(config.banks_per_channel)]
         self._group_col_free = [0.0] * config.bank_groups_per_channel
         self.queue: list[DRAMRequest] = []
-        self.bus_free = 0.0
-        self.last_activate = -1e18
+        self.bus_free: Cycles = 0.0
+        self.last_activate: Cycles = -1e18
         self._deciding = False
         self._hit_streak = 0
         # statistics
-        self.row_hits = 0
-        self.row_misses = 0
-        self.lines_transferred = 0
-        self.busy_cycles = 0.0
+        self.row_hits: Count = 0
+        self.row_misses: Count = 0
+        self.lines_transferred: Lines = 0
+        self.busy_cycles: Cycles = 0.0
 
     # --- public API ------------------------------------------------------
 
-    def enqueue(self, request: DRAMRequest, now: float) -> None:
+    def enqueue(self, request: DRAMRequest, now: Cycles) -> None:
         if self.is_full:
             raise RuntimeError(
                 f"channel {self.channel_id} queue overflow; check is_full first"
@@ -168,7 +169,7 @@ class DRAMChannel:
     def is_full(self) -> bool:
         return len(self.queue) >= self.capacity
 
-    def utilization(self, elapsed: float) -> float:
+    def utilization(self, elapsed: Cycles) -> Fraction:
         """Fraction of elapsed cycles the data bus carried data."""
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
 
@@ -177,7 +178,7 @@ class DRAMChannel:
     #: scheduler queue visibility (real controllers scan a bounded window)
     SCAN_WINDOW = 64
 
-    def _pick(self, now: float) -> int:
+    def _pick(self, now: Cycles) -> int:
         """FR-FCFS choice within the scan window.
 
         First ready: the oldest row-buffer hit (unless the hit streak is
@@ -213,7 +214,7 @@ class DRAMChannel:
                     break  # the oldest already-ready bank wins
         return best
 
-    def _decide(self, now: float) -> None:
+    def _decide(self, now: Cycles) -> None:
         queue = self.queue
         if not queue:
             self._deciding = False

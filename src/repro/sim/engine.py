@@ -57,6 +57,14 @@ from repro.sim.core import Core, Warp
 from repro.sim.dram import DRAMChannel, DRAMRequest
 from repro.sim.interconnect import Crossbar
 from repro.sim.stats import StatsCollector, WindowSample
+from repro.units import (
+    Cycles,
+    Fraction,
+    FractionOfPeak,
+    Insts,
+    Ipc,
+    WholeCycles,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.controller import TLPController
@@ -109,7 +117,7 @@ class MemTxn:
         line: int = 0,
         app_id: int = 0,
         channel: int = 0,
-        n_inst: int = 0,
+        n_inst: Insts = 0,
         n: int = 0,
         lines: list[int] | None = None,
     ) -> None:
@@ -120,7 +128,7 @@ class MemTxn:
         self.app_id = app_id
         self.channel = channel
         #: instructions retired by the compute phase (COMPUTE_DONE)
-        self.n_inst = n_inst
+        self.n_inst: Insts = n_inst
         #: number of L1-hit responses carried (WARP_RESP)
         self.n = n
         #: line addresses of the pending memory instruction (COMPUTE_DONE)
@@ -128,7 +136,7 @@ class MemTxn:
         self.lines = lines
         #: exact completion time of a stride-batched compute phase; the
         #: event rides at the chain head's time, the arithmetic uses this
-        self.due = 0.0
+        self.due: Cycles = 0.0
         #: next compute record in the same per-core stride chain
         self.link: MemTxn | None = None
 
@@ -185,9 +193,9 @@ class EventQueue:
     )
 
     def __init__(self) -> None:
-        self.now = 0.0
+        self.now: Cycles = 0.0
         #: stage machine for MemTxn entries; set by the owning Simulator
-        self.dispatch: Callable[[MemTxn, float], None] | None = None
+        self.dispatch: Callable[[MemTxn, Cycles], None] | None = None
         self._seq = 0
         self._size = 0
         self._mask = self.WHEEL_SIZE - 1
@@ -204,7 +212,7 @@ class EventQueue:
         return self._size
 
     def push(
-        self, time: float, fn: "MemTxn | Callable[[float], None]"
+        self, time: Cycles, fn: "MemTxn | Callable[[Cycles], None]"
     ) -> None:
         if time < self.now:
             raise ValueError(f"event scheduled in the past: {time} < {self.now}")
@@ -236,7 +244,7 @@ class EventQueue:
             int(overflow[0][0]) >> 4 if overflow else 1 << 63
         )
 
-    def run_until(self, t_end: float) -> None:
+    def run_until(self, t_end: Cycles) -> None:
         wheel = self._wheel
         mask = self._mask
         overflow = self._overflow
@@ -298,22 +306,22 @@ class SimResult:
     """
 
     samples: dict[int, WindowSample]
-    cycles: float
-    tlp_timeline: list[tuple[float, int, int]]
-    windows: list[tuple[float, dict[int, WindowSample]]] = field(default_factory=list)
+    cycles: Cycles
+    tlp_timeline: list[tuple[Cycles, int, int]]
+    windows: list[tuple[Cycles, dict[int, WindowSample]]] = field(default_factory=list)
     final_tlp: dict[int, int] = field(default_factory=dict)
-    dram_utilization: float = 0.0
+    dram_utilization: Fraction = 0.0
 
-    def ipc(self, app_id: int) -> float:
+    def ipc(self, app_id: int) -> Ipc:
         return self.samples[app_id].ipc
 
-    def eb(self, app_id: int) -> float:
+    def eb(self, app_id: int) -> FractionOfPeak:
         return self.samples[app_id].eb
 
-    def bw(self, app_id: int) -> float:
+    def bw(self, app_id: int) -> FractionOfPeak:
         return self.samples[app_id].bw
 
-    def cmr(self, app_id: int) -> float:
+    def cmr(self, app_id: int) -> Fraction:
         return self.samples[app_id].cmr
 
     @property
@@ -444,8 +452,8 @@ class Simulator:
         self._banks_per_channel = config.banks_per_channel
         self._req_ports = self.crossbar.request_ports
         self._resp_ports = self.crossbar.response_ports
-        self._l1_hit_latency = config.l1_hit_latency
-        self._l2_hit_latency = config.l2_hit_latency
+        self._l1_hit_latency: Cycles = config.l1_hit_latency
+        self._l2_hit_latency: Cycles = config.l2_hit_latency
         self._dram_cb = [
             partial(self._dram_done, ch) for ch in range(config.n_channels)
         ]
@@ -513,7 +521,7 @@ class Simulator:
     # Transaction dispatch (the hot path)
     # ------------------------------------------------------------------
 
-    def _dispatch(self, txn: MemTxn, now: float) -> None:
+    def _dispatch(self, txn: MemTxn, now: Cycles) -> None:
         """Advance one transaction by one stage.
 
         This is the engine's single event consumer: the event queue
@@ -930,7 +938,7 @@ class Simulator:
     # Warp loop
     # ------------------------------------------------------------------
 
-    def _start_warp(self, core: Core, warp: Warp, now: float) -> None:
+    def _start_warp(self, core: Core, warp: Warp, now: Cycles) -> None:
         n_inst, lines = warp.stream.next_request()
         txn = warp.compute_txn
         txn.n_inst = n_inst
@@ -981,7 +989,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _l1_miss(
-        self, core: Core, warp: Warp, line: int, now: float, txn: MemTxn | None
+        self, core: Core, warp: Warp, line: int, now: Cycles, txn: MemTxn | None
     ) -> None:
         """Allocate an L1 miss; forward to L2 or park under backpressure.
 
@@ -1026,7 +1034,7 @@ class Simulator:
             txn.channel = channel
         self._push(fa + port.latency, txn)
 
-    def _l2_miss(self, txn: MemTxn, now: float) -> None:
+    def _l2_miss(self, txn: MemTxn, now: Cycles) -> None:
         """Allocate the L2 miss and send it to DRAM (access already counted).
 
         The MSHR bookkeeping is the inline form of
@@ -1051,7 +1059,7 @@ class Simulator:
         pending_map[line] = [txn.core]
         self._to_dram(txn, now)
 
-    def _to_dram(self, txn: MemTxn, now: float) -> None:
+    def _to_dram(self, txn: MemTxn, now: Cycles) -> None:
         """Enqueue at the channel, deferring while its queue is full.
 
         The transaction's journey ends here: its identity is carried
@@ -1083,7 +1091,7 @@ class Simulator:
         chan.enqueue(req, now)
         self._txn_pool.append(txn)
 
-    def _drain_dram_deferred(self, channel: int, now: float) -> None:
+    def _drain_dram_deferred(self, channel: int, now: Cycles) -> None:
         """Re-drive parked L2 misses while the channel queue has room.
 
         Drains in a loop (like the MSHR deferred queues): a single
@@ -1102,7 +1110,7 @@ class Simulator:
         if not deferred:
             chan.on_dequeue = None
 
-    def _dram_done(self, channel: int, request: DRAMRequest, now: float) -> None:
+    def _dram_done(self, channel: int, request: DRAMRequest, now: Cycles) -> None:
         stats = self._stats[request.app_id]
         stats.dram_lines += 1
         if request.row_hit:
@@ -1183,8 +1191,8 @@ class Simulator:
 
     def run(
         self,
-        max_cycles: int,
-        warmup: int | None = None,
+        max_cycles: WholeCycles,
+        warmup: WholeCycles | None = None,
         initial_tlp: dict[int, int] | None = None,
     ) -> SimResult:
         """Simulate for ``max_cycles`` and return measured-region results.
@@ -1230,17 +1238,17 @@ class Simulator:
             dram_utilization=busy / (measured * len(self.channels)),
         )
 
-    def _begin_measurement(self, now: float) -> None:
+    def _begin_measurement(self, now: Cycles) -> None:
         """End of warmup: snapshot counters and per-channel busy cycles
         so dram_utilization, like every other reported metric, covers
         only the measured (post-warmup) region."""
         self.collector.start_measurement(now)
         self._busy_at_measurement = [ch.busy_cycles for ch in self.channels]
 
-    def _schedule_controller_window(self, when: float) -> None:
+    def _schedule_controller_window(self, when: Cycles) -> None:
         self.events.push(when, self._controller_window)
 
-    def _controller_window(self, now: float) -> None:
+    def _controller_window(self, now: Cycles) -> None:
         assert self.controller is not None
         windows = self.collector.cut_window(now)
         self.window_log.append((now, windows))

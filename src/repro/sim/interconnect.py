@@ -17,6 +17,7 @@ the core side.
 from __future__ import annotations
 
 from repro.config import GPUConfig
+from repro.units import BytesPerCycle, Count, Cycles, Fraction
 
 __all__ = ["Link", "Crossbar"]
 
@@ -27,17 +28,17 @@ class Link:
     __slots__ = ("latency", "cycles_per_packet", "free_at", "packets",
                  "busy_cycles", "queue_cycles")
 
-    def __init__(self, latency: float, cycles_per_packet: float) -> None:
+    def __init__(self, latency: Cycles, cycles_per_packet: Cycles) -> None:
         if cycles_per_packet <= 0:
             raise ValueError("cycles_per_packet must be positive")
-        self.latency = latency
-        self.cycles_per_packet = cycles_per_packet
-        self.free_at = 0.0
-        self.packets = 0
-        self.busy_cycles = 0.0
-        self.queue_cycles = 0.0
+        self.latency: Cycles = latency
+        self.cycles_per_packet: Cycles = cycles_per_packet
+        self.free_at: Cycles = 0.0
+        self.packets: Count = 0
+        self.busy_cycles: Cycles = 0.0
+        self.queue_cycles: Cycles = 0.0
 
-    def send(self, now: float) -> float:
+    def send(self, now: Cycles) -> Cycles:
         """Inject a packet at ``now``; returns its delivery time."""
         start = now if now > self.free_at else self.free_at
         self.free_at = start + self.cycles_per_packet
@@ -46,7 +47,7 @@ class Link:
         self.queue_cycles += start - now
         return start + self.cycles_per_packet + self.latency
 
-    def utilization(self, elapsed: float) -> float:
+    def utilization(self, elapsed: Cycles) -> Fraction:
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
 
 
@@ -54,7 +55,7 @@ class Crossbar:
     """Per-partition request and response ports of the crossbar."""
 
     #: data-bus width of one crossbar port, bytes per cycle
-    PORT_BYTES_PER_CYCLE = 32
+    PORT_BYTES_PER_CYCLE: BytesPerCycle = 32
 
     __slots__ = ("request_ports", "response_ports")
 
@@ -68,10 +69,10 @@ class Crossbar:
             Link(config.icnt_latency, resp_cycles) for _ in range(config.n_channels)
         ]
 
-    def send_request(self, channel: int, now: float) -> float:
+    def send_request(self, channel: int, now: Cycles) -> Cycles:
         """Core -> L2 slice; returns arrival time at the partition."""
         return self.request_ports[channel].send(now)
 
-    def send_response(self, channel: int, now: float) -> float:
+    def send_response(self, channel: int, now: Cycles) -> Cycles:
         """L2 slice -> core; returns arrival time at the core."""
         return self.response_ports[channel].send(now)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.obs.trace import CLOCK_CYCLES, Event
+from repro.units import Cycles, TraceTicks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -52,7 +53,7 @@ class LatencyHistogram:
         self.max_exponent = max_exponent
         self._buckets: dict[int, list[int]] = {}
 
-    def record(self, app_id: int, latency: float) -> None:
+    def record(self, app_id: int, latency: Cycles) -> None:
         if latency < 0:
             raise ValueError("latency cannot be negative")
         buckets = self._buckets.setdefault(
@@ -66,7 +67,7 @@ class LatencyHistogram:
     def count(self, app_id: int) -> int:
         return sum(self._buckets.get(app_id, []))
 
-    def percentile(self, app_id: int, q: float) -> float:
+    def percentile(self, app_id: int, q: float) -> Cycles:
         """Approximate q-quantile (q in (0, 1]) of an app's latency."""
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
@@ -96,7 +97,7 @@ class LatencyHistogram:
             "count": float(self.count(app_id)),
         }
 
-    def to_events(self, ts: float = 0.0) -> list[Event]:
+    def to_events(self, ts: TraceTicks = 0.0) -> list[Event]:
         """One instant event per app with its latency percentiles."""
         return [
             Event(
@@ -116,7 +117,7 @@ class LatencyHistogram:
 class QueueDepthProbe:
     """Periodic samples of DRAM queue and deferred-queue depths."""
 
-    period: float = 1000.0
+    period: Cycles = 1000.0
     #: (time, channel, queue_depth, deferred_depth)
     samples: list[tuple[float, int, int, int]] = field(default_factory=list)
 
@@ -156,7 +157,7 @@ class QueueDepthProbe:
 class OccupancyProbe:
     """Periodic samples of L2 lines held per application."""
 
-    period: float = 2000.0
+    period: Cycles = 2000.0
     #: (time, {app_id: resident lines across all slices})
     samples: list[tuple[float, dict[int, int]]] = field(default_factory=list)
 
@@ -199,14 +200,14 @@ def attach(
     if latency is not None:
         original = sim.collector.note_mem_request
 
-        def recording(app_id: int, lat: float) -> None:
+        def recording(app_id: int, lat: Cycles) -> None:
             latency.record(app_id, lat)
             original(app_id, lat)
 
         sim.collector.note_mem_request = recording  # type: ignore[method-assign]
 
     if queues is not None:
-        def sample_queues(now: float) -> None:
+        def sample_queues(now: Cycles) -> None:
             for ch, channel in enumerate(sim.channels):
                 queues.samples.append(
                     (now, ch, channel.queue_depth, len(sim._dram_deferred[ch]))
@@ -216,7 +217,7 @@ def attach(
         sim.events.push(queues.period, sample_queues)
 
     if occupancy is not None:
-        def sample_occupancy(now: float) -> None:
+        def sample_occupancy(now: Cycles) -> None:
             merged: dict[int, int] = {}
             for l2 in sim.l2s:
                 for app, lines in l2.occupancy_by_app().items():

@@ -12,6 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.units import (
+    Count,
+    Cycles,
+    Fraction,
+    FractionOfPeak,
+    Insts,
+    Ipc,
+    Lines,
+    LinesPerCycle,
+)
+
 __all__ = ["AppStats", "WindowSample", "StatsCollector"]
 
 
@@ -23,16 +34,16 @@ class AppStats:
     so the accumulator is kept a fixed-layout record.
     """
 
-    insts: int = 0
-    l1_accesses: int = 0
-    l1_misses: int = 0
-    l2_accesses: int = 0
-    l2_misses: int = 0
-    dram_lines: int = 0
-    mem_requests: int = 0
-    mem_latency_sum: float = 0.0
-    row_hits: int = 0
-    row_misses: int = 0
+    insts: Insts = 0
+    l1_accesses: Count = 0
+    l1_misses: Count = 0
+    l2_accesses: Count = 0
+    l2_misses: Count = 0
+    dram_lines: Lines = 0
+    mem_requests: Count = 0
+    mem_latency_sum: Cycles = 0.0
+    row_hits: Count = 0
+    row_misses: Count = 0
 
     def copy(self) -> "AppStats":
         return AppStats(*(getattr(self, f) for f in _APP_STAT_FIELDS))
@@ -56,20 +67,24 @@ class WindowSample:
     """
 
     app_id: int
-    cycles: float
-    insts: int
-    ipc: float
-    l1_miss_rate: float
-    l2_miss_rate: float
-    cmr: float
-    bw: float
-    eb: float
-    avg_mem_latency: float
-    row_hit_rate: float
+    cycles: Cycles
+    insts: Insts
+    ipc: Ipc
+    l1_miss_rate: Fraction
+    l2_miss_rate: Fraction
+    cmr: Fraction
+    bw: FractionOfPeak
+    eb: FractionOfPeak
+    avg_mem_latency: Cycles
+    row_hit_rate: Fraction
 
     @classmethod
     def from_counters(
-        cls, app_id: int, counters: AppStats, cycles: float, peak_lines_per_cycle: float
+        cls,
+        app_id: int,
+        counters: AppStats,
+        cycles: Cycles,
+        peak_lines_per_cycle: LinesPerCycle,
     ) -> "WindowSample":
         if cycles <= 0:
             raise ValueError("window must span a positive number of cycles")
@@ -109,17 +124,19 @@ class StatsCollector:
     :meth:`cut_window`.
     """
 
-    def __init__(self, app_ids: list[int], peak_lines_per_cycle: float) -> None:
-        self.peak_lines_per_cycle = peak_lines_per_cycle
+    def __init__(
+        self, app_ids: list[int], peak_lines_per_cycle: LinesPerCycle
+    ) -> None:
+        self.peak_lines_per_cycle: LinesPerCycle = peak_lines_per_cycle
         self.apps: dict[int, AppStats] = {a: AppStats() for a in app_ids}
         self._window_base: dict[int, AppStats] = {a: AppStats() for a in app_ids}
-        self._window_start: float = 0.0
+        self._window_start: Cycles = 0.0
         self._measure_base: dict[int, AppStats] = {a: AppStats() for a in app_ids}
-        self._measure_start: float = 0.0
+        self._measure_start: Cycles = 0.0
 
     # --- event hooks -------------------------------------------------------
 
-    def note_insts(self, app_id: int, n: int) -> None:
+    def note_insts(self, app_id: int, n: Insts) -> None:
         self.apps[app_id].insts += n
 
     def note_l1(self, app_id: int, hit: bool) -> None:
@@ -142,21 +159,21 @@ class StatsCollector:
         else:
             s.row_misses += 1
 
-    def note_mem_request(self, app_id: int, latency: float) -> None:
+    def note_mem_request(self, app_id: int, latency: Cycles) -> None:
         s = self.apps[app_id]
         s.mem_requests += 1
         s.mem_latency_sum += latency
 
     # --- windows -----------------------------------------------------------
 
-    def cut_window(self, now: float) -> dict[int, WindowSample]:
+    def cut_window(self, now: Cycles) -> dict[int, WindowSample]:
         """Return samples since the last cut and start a new window."""
         samples = self.window(now)
         self._window_base = {a: s.copy() for a, s in self.apps.items()}
         self._window_start = now
         return samples
 
-    def window(self, now: float) -> dict[int, WindowSample]:
+    def window(self, now: Cycles) -> dict[int, WindowSample]:
         """Samples since the last cut, without resetting the window."""
         cycles = now - self._window_start
         return {
@@ -169,12 +186,12 @@ class StatsCollector:
 
     # --- measurement region (warmup exclusion) -----------------------------
 
-    def start_measurement(self, now: float) -> None:
+    def start_measurement(self, now: Cycles) -> None:
         """Mark the beginning of the measured region (end of warmup)."""
         self._measure_base = {a: s.copy() for a, s in self.apps.items()}
         self._measure_start = now
 
-    def measurement(self, now: float) -> dict[int, WindowSample]:
+    def measurement(self, now: Cycles) -> dict[int, WindowSample]:
         """Samples since :meth:`start_measurement` (whole measured run)."""
         cycles = now - self._measure_start
         return {

@@ -46,11 +46,11 @@ def rules_of(findings: list[Finding]) -> set[str]:
 
 
 class TestFramework:
-    def test_registry_has_all_eleven_rules(self):
+    def test_registry_has_all_thirteen_rules(self):
         ids = [r.id for r in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-            "R009", "R010", "R011",
+            "R009", "R010", "R011", "R012", "R013",
         ]
 
     def test_select_unknown_rule_raises(self):
