@@ -22,6 +22,11 @@ file keeps one section per mode (``full``/``quick``), each holding a
 ``current`` measurement, and the per-case ``speedup`` ratio of current
 over baseline cycles/sec.  Ratios are only meaningful when baseline and
 current were measured on the same machine.
+
+Every run is additionally appended to ``results/bench_history.jsonl``
+(one record per mode, schema-stamped); ``repro bench history`` renders
+the trend against the committed baseline.  ``--no-history`` skips the
+append for throwaway measurements.
 """
 
 from __future__ import annotations
@@ -43,11 +48,13 @@ if str(SRC) not in sys.path:
 from repro.config import small_config  # noqa: E402
 from repro.core.pbs import PBSController  # noqa: E402
 from repro.core.runner import run_combo  # noqa: E402
+from repro.obs.bench import append_bench_history  # noqa: E402
 from repro.obs.io import atomic_write_text  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
 from repro.workloads.table4 import app_by_abbr  # noqa: E402
 
 DEFAULT_OUT = ROOT / "BENCH_engine.json"
+DEFAULT_HISTORY = ROOT / "results" / "bench_history.jsonl"
 SCHEMA = 1
 
 #: case name -> (apps, combo, controller factory or None)
@@ -178,6 +185,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="best-of repetitions (default: 3 full, 2 quick)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output path (default {DEFAULT_OUT.name})")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help="perf-history ledger to append to "
+                             f"(default {DEFAULT_HISTORY.relative_to(ROOT)})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the bench_history.jsonl append")
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
@@ -235,6 +247,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nwrote {args.out}")
     for case, ratio in section["speedup"].items():
         print(f"  speedup[{mode}/{case}] = {ratio:.3f}x")
+
+    if not args.no_history:
+        append_bench_history(
+            args.history, {"mode": mode, **measured, "speedup": section["speedup"]}
+        )
+        print(f"appended {mode!r} run to {args.history}")
     return 0
 
 

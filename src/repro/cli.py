@@ -27,21 +27,33 @@ Commands
     Summarize a traced run (per-phase timings, per-app EB/BW/CMR
     window timelines, the controller decision log).  ``RUN`` is a run
     id under the trace directory, a run directory, or a trace file.
+    ``--json`` emits the same summary machine-readably.
     See ``docs/observability.md``.
+
+``watch RUN``
+    Follow the live dashboard of a running (or finished) traced sweep
+    by tailing its ``live.ndjson`` stream.
+
+``bench history``
+    Render the engine benchmark trend from ``results/bench_history.jsonl``
+    against the committed ``BENCH_engine.json`` baseline.
 
 All simulation commands accept ``--config {paper,medium,small}``, ``--quick``
 (short test-scale runs), ``--seed N`` and ``--jobs N`` (parallel
 simulation workers; default ``$REPRO_JOBS``, else all cores) — before
 or after the subcommand.  Heavy products are cached under ``results/``.
 With ``--trace``, a run additionally writes a JSONL event trace, a
-Chrome/Perfetto export, and a provenance manifest under
-``results/traces/<run-id>/``.
+Chrome/Perfetto export, a live NDJSON telemetry stream, and a
+provenance manifest under ``results/traces/<run-id>/``.  ``--watch``
+(live dashboard) and ``--profile`` (cProfile worker jobs + engine
+self-profiling counters) both imply ``--trace``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from collections.abc import Sequence
@@ -51,15 +63,24 @@ from repro.config import GPUConfig, medium_config, paper_config, small_config
 from repro.core.runner import ALL_SCHEMES, RunLengths
 from repro.devtools.linter import add_arguments as lint_add_arguments
 from repro.devtools.linter import run as lint_run
-from repro.exec import resolve_jobs
+from repro.exec import ProgressThrottle, resolve_jobs
 from repro.experiments.common import CACHE_FORMAT, ExperimentContext
 from repro.experiments.report import render_table
 from repro.experiments.table4 import run_table4
+from repro.obs.bench import (
+    load_bench_baseline,
+    load_bench_history,
+    render_bench_history,
+)
 from repro.obs.chrome import write_chrome_trace
+from repro.obs.dashboard import Dashboard
+from repro.obs.dashboard import watch as watch_live
+from repro.obs.live import LiveHub, set_publisher
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
-from repro.obs.summarize import summarize
+from repro.obs.summarize import summarize, summary_data
 from repro.obs.trace import Tracer, tracing
+from repro.sim import set_engine_profiling
 from repro.workloads.table4 import APPLICATIONS, app_by_abbr
 
 __all__ = ["main", "build_parser"]
@@ -103,6 +124,12 @@ def _add_common_options(parser: argparse.ArgumentParser, *, top: bool) -> None:
                         metavar="DIR",
                         help=f"where traced runs are written "
                         f"(default: {DEFAULT_TRACE_DIR})")
+    parser.add_argument("--watch", action="store_true", default=d(False),
+                        help="render a live telemetry dashboard while the "
+                        "run executes (implies --trace)")
+    parser.add_argument("--profile", action="store_true", default=d(False),
+                        help="profile worker jobs with cProfile and enable "
+                        "engine self-profiling counters (implies --trace)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,33 +186,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
         help=f"where traced runs live (default: {DEFAULT_TRACE_DIR})",
     )
+    p_summarize.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the summary as machine-readable JSON",
+    )
+
+    # watch follows the live stream of a traced run; no sim options.
+    p_watch = sub.add_parser(
+        "watch", help="follow the live dashboard of a traced run"
+    )
+    p_watch.add_argument(
+        "run", metavar="RUN",
+        help="run id under the trace directory, a run directory, "
+        "or a live.ndjson path",
+    )
+    p_watch.add_argument(
+        "--trace-dir", default=DEFAULT_TRACE_DIR, metavar="DIR",
+        help=f"where traced runs live (default: {DEFAULT_TRACE_DIR})",
+    )
+    p_watch.add_argument(
+        "--no-follow", action="store_true",
+        help="replay what is on disk and exit instead of tailing",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="stop following after S seconds (default: wait for the end)",
+    )
+
+    # bench inspects the engine perf-history ledger.
+    p_bench = sub.add_parser("bench", help="inspect engine benchmarks")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_history = bench_sub.add_parser(
+        "history", help="render the bench trend vs the committed baseline"
+    )
+    p_history.add_argument(
+        "--history", default="results/bench_history.jsonl", metavar="PATH",
+        help="ledger appended by scripts/bench_report.py",
+    )
+    p_history.add_argument(
+        "--baseline", default="BENCH_engine.json", metavar="PATH",
+        help="committed baseline to diff against",
+    )
+    p_history.add_argument(
+        "--mode", default=None, help="restrict to one bench mode"
+    )
+    p_history.add_argument(
+        "--last", type=int, default=10, metavar="N",
+        help="show the most recent N runs per mode (default: 10)",
+    )
     return parser
 
 
-def _print_progress(
-    done: int, total: int, spec: object, elapsed: float = 0.0
-) -> None:
+class _ProgressPrinter:
     """Sweep-completion reporting: one updating line on a terminal.
 
     Writes carriage-return progress to *stderr* and only when stderr is
     a terminal, so piped/redirected output never fills with ``\\r``
     frames.  The fourth argument opts into the pool's per-job timing
-    (see :data:`repro.exec.ProgressFn`).
+    (see :data:`repro.exec.ProgressFn`), which also feeds the jobs/sec
+    and ETA fields.  A ``done`` value at or below the previous call's
+    marks the start of a new batch and re-anchors the rate clock.
     """
-    if not sys.stderr.isatty():
-        return
-    tag = getattr(spec, "tag", None)
-    label = " ".join(str(p) for p in tag) if tag else ""
-    timing = f" {elapsed:5.1f}s" if elapsed else ""
-    end = "\n" if done == total else ""
-    print(f"\r  [{done}/{total}] {label:<40.40s}{timing}", end=end,
-          file=sys.stderr, flush=True)
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._t0: float | None = None
+        self._prev_done = 1 << 62
+
+    def __call__(
+        self, done: int, total: int, spec: object, elapsed: float = 0.0
+    ) -> None:
+        if not sys.stderr.isatty():
+            return
+        mark = self._clock()
+        if self._t0 is None or done <= self._prev_done:
+            # New batch: anchor the rate clock, backdated by this job's
+            # own runtime so the first frame's rate is already sane.
+            self._t0 = mark - (elapsed or 0.0)
+        self._prev_done = done
+        tag = getattr(spec, "tag", None)
+        label = " ".join(str(p) for p in tag) if tag else ""
+        timing = f" {elapsed:5.1f}s" if elapsed else ""
+        extra = ""
+        span = mark - self._t0
+        if span > 0:
+            rate = done / span
+            extra = f" {rate:5.1f}/s"
+            if done < total and rate > 0:
+                eta = (total - done) / rate
+                extra += f" ETA {eta:4.0f}s"
+        end = "\n" if done == total else ""
+        print(f"\r  [{done}/{total}] {label:<40.40s}{timing}{extra}",
+              end=end, file=sys.stderr, flush=True)
+
+
+#: The module-level hook tests and callers target; one shared instance
+#: so consecutive batches in a run reuse the same rate state.
+_print_progress = _ProgressPrinter()
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
     config: GPUConfig = _CONFIGS[args.config]()
     lengths = RunLengths.quick() if args.quick else RunLengths()
-    progress = _print_progress if sys.stderr.isatty() else None
+    if getattr(args, "watch", False):
+        # The dashboard owns the terminal; a competing \r line would
+        # tear its in-place repaints.
+        progress = None
+    elif sys.stderr.isatty():
+        progress = ProgressThrottle(_print_progress)
+    else:
+        progress = None
     # Resolve eagerly so a bad --jobs / $REPRO_JOBS fails before any
     # simulation starts, with a clean error instead of a mid-sweep one.
     n_jobs = resolve_jobs(args.jobs)
@@ -278,7 +388,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     candidate = Path(args.trace_dir) / args.run
     if not Path(args.run).exists() and candidate.exists():
         target = candidate
-    print(summarize(target))
+    if getattr(args, "as_json", False):
+        print(json.dumps(summary_data(target), indent=2, sort_keys=True))
+    else:
+        print(summarize(target))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    path = Path(args.run)
+    if path.is_file():
+        live_path = path
+    elif path.is_dir():
+        live_path = path / "live.ndjson"
+    else:
+        live_path = Path(args.trace_dir) / args.run / "live.ndjson"
+    if not live_path.is_file():
+        raise FileNotFoundError(
+            f"no live stream for {args.run!r} (tried {live_path})"
+        )
+    state = watch_live(
+        live_path,
+        follow=not args.no_follow,
+        timeout_s=args.timeout,
+        run_id=str(args.run),
+    )
+    return 0 if state.ended or args.no_follow else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    history_path = Path(args.history)
+    if not history_path.is_file():
+        raise FileNotFoundError(
+            f"no bench history at {history_path} "
+            "(scripts/bench_report.py appends to it)"
+        )
+    records = load_bench_history(history_path)
+    baseline = load_bench_baseline(Path(args.baseline))
+    print(
+        render_bench_history(
+            records, baseline=baseline, mode=args.mode, last=args.last
+        ),
+        end="",
+    )
     return 0
 
 
@@ -290,16 +442,21 @@ _COMMANDS = {
     "zoo": _cmd_zoo,
     "lint": lint_run,
     "trace": _cmd_trace,
+    "watch": _cmd_watch,
+    "bench": _cmd_bench,
 }
 
 
 def _run_traced(args: argparse.Namespace, argv: list[str]) -> int:
-    """Run a simulation command with the tracer installed.
+    """Run a simulation command with tracer + live telemetry installed.
 
     Produces ``<trace-dir>/<run-id>/`` holding the JSONL trace, its
-    Chrome/Perfetto export, and the provenance manifest.  The manifest
-    is written even when the command fails: a crashed run's partial
-    trace is exactly the one worth inspecting.
+    Chrome/Perfetto export, the ``live.ndjson`` telemetry stream, and
+    the provenance manifest.  The manifest is written even when the
+    command fails: a crashed run's partial trace is exactly the one
+    worth inspecting.  ``--watch`` attaches a dashboard to the live
+    stream in-process; ``--profile`` enables cProfile around worker
+    jobs and the engine's self-profiling counters.
     """
     run_id = (
         f"{args.command}-{time.strftime('%Y%m%d-%H%M%S')}-seed{args.seed}"
@@ -319,18 +476,41 @@ def _run_traced(args: argparse.Namespace, argv: list[str]) -> int:
         repo_root=Path(__file__).resolve().parents[2],
     )
     tracer = Tracer(run_id)
+    profiled = getattr(args, "profile", False)
     # A fresh metrics registry isolates this run's counters (cache
     # hits/misses, timers) from anything else in the process.
     previous_metrics = set_metrics(MetricsRegistry())
+    dashboard = (
+        Dashboard(run_id=run_id) if getattr(args, "watch", False) else None
+    )
+    hub = LiveHub(
+        run_id,
+        out_dir / "live.ndjson",
+        profile=profiled,
+        on_record=dashboard.on_record if dashboard is not None else None,
+    )
+    previous_publisher = set_publisher(hub.publisher)
+    previous_profiling = set_engine_profiling(True) if profiled else None
+    written: list[str] = []
     try:
         with tracing(tracer):
-            code = _COMMANDS[args.command](args)
+            try:
+                code = _COMMANDS[args.command](args)
+            finally:
+                set_publisher(previous_publisher)
+                if previous_profiling is not None:
+                    set_engine_profiling(previous_profiling)
+                # Close the hub while the tracer and this run's metrics
+                # registry are still ambient: the final drain merges the
+                # last worker metric deltas into the run's registry and
+                # folds profile frames into the trace being exported.
+                hub.close()
+                written.append("live.ndjson")
     finally:
         metrics_snapshot = get_metrics().snapshot()
         set_metrics(previous_metrics)
         trace_path = out_dir / "trace.jsonl"
         chrome_path = out_dir / "trace.chrome.json"
-        written: list[str] = []
         try:
             tracer.write(trace_path)
             written.append(trace_path.name)
@@ -354,7 +534,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
     try:
-        if args.command in _SIM_COMMANDS and getattr(args, "trace", False):
+        traced = (
+            getattr(args, "trace", False)
+            or getattr(args, "watch", False)   # --watch implies --trace
+            or getattr(args, "profile", False)  # --profile implies --trace
+        )
+        if args.command in _SIM_COMMANDS and traced:
             return _run_traced(args, argv)
         return _COMMANDS[args.command](args)
     except KeyError as exc:  # unknown application abbreviation

@@ -43,6 +43,7 @@ from repro.core.tlp import all_combos
 from repro.exec.jobs import SimJob, run_sim_job
 from repro.exec.pool import ProgressFn, run_jobs
 from repro.metrics.slowdown import fairness_index, harmonic_speedup, weighted_speedup
+from repro.obs.live import get_publisher, result_records
 from repro.obs.trace import CLOCK_CYCLES, NullTracer, Tracer, get_tracer
 from repro.sim.engine import SimResult, Simulator
 from repro.sim.stats import WindowSample
@@ -437,7 +438,17 @@ def emit_scheme_events(
     per-window EB/BW/CMR series; decision records become instants in
     the ``pbs`` (online PBS) or ``ctrl`` (baseline) category.  All of
     them are cycle-stamped.
+
+    The live telemetry stream gets the same windows and decisions, from
+    the same seam: the *parent-side* publisher emits them here exactly
+    once per scheme result — whether it was evaluated in-process, in a
+    pool worker, or replayed from cache — so pool workers deliberately
+    do not publish SchemeResult windows themselves.
     """
+    publisher = get_publisher()
+    if publisher.enabled and not publisher.worker:
+        for record in result_records(result, window_cap=publisher.window_cap):
+            publisher.publish(record)
     tracer = tracer if tracer is not None else get_tracer()
     if not tracer.enabled:
         return

@@ -12,6 +12,13 @@ The dependency contract of the tree:
   ``repro.metrics``, ``repro.analysis``) — the engine must stay usable
   without the experiment harness.  ``if TYPE_CHECKING:`` imports are
   exempt (they vanish at runtime).
+* ``repro.sim`` also never imports the live-telemetry consumers
+  ``repro.obs.live`` / ``repro.obs.dashboard``: those modules sit
+  *above* the simulator (they stream and render its outputs), and the
+  engine's only sanctioned observability seam is the tracer/metrics
+  layer (``repro.obs.trace`` / ``repro.obs.metrics``) plus the probe
+  API.  Publishing engine self-profiling through the ambient metrics
+  registry keeps profiled and unprofiled runs bit-identical.
 
 Tests are exempt: white-box tests poke internals by design.
 """
@@ -32,6 +39,10 @@ _FACADE_CONSUMERS = ("repro.experiments", "repro.metrics", "repro.analysis")
 
 #: Layers the simulator itself may never import.
 _ABOVE_SIM = ("repro.experiments", "repro.metrics", "repro.analysis")
+
+#: Observability modules that *consume* simulator output (live stream,
+#: dashboard); the engine may use the tracer/metrics seam, never these.
+_SIM_FORBIDDEN_OBS = ("repro.obs.live", "repro.obs.dashboard")
 
 
 def _type_checking_lines(tree: ast.Module) -> set[int]:
@@ -100,4 +111,13 @@ class LayeringRule(LintRule):
                         node,
                         f"repro.sim must not import the experiment layer "
                         f"('{module}'); move the dependency up or inject it",
+                    )
+                elif provider and _under(module, *_SIM_FORBIDDEN_OBS):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"repro.sim must not import '{module}': live "
+                        "telemetry consumes engine output; publish through "
+                        "the tracer/metrics seam (repro.obs.trace, "
+                        "repro.obs.metrics) or the probe API instead",
                     )

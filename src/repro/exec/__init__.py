@@ -12,6 +12,7 @@ from repro.exec.pool import (
     JOBS_ENV_VAR,
     JobError,
     ProgressFn,
+    ProgressThrottle,
     resolve_jobs,
     run_jobs,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "JOBS_ENV_VAR",
     "JobError",
     "ProgressFn",
+    "ProgressThrottle",
     "SimJob",
     "resolve_jobs",
     "run_jobs",

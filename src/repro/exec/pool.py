@@ -29,11 +29,22 @@ a ``cat="job"`` span carrying the worker's pid and its queue wait (time
 between submission and the worker actually starting, i.e. time spent
 waiting for a pool slot).  Progress callbacks may opt into per-job
 timing by accepting a fourth argument: ``progress(done, total, spec,
-elapsed_s)``; three-argument callbacks keep working unchanged.
+elapsed_s)``; three-argument callbacks keep working unchanged, and
+:class:`ProgressThrottle` wraps either kind to cap the redraw rate.
+
+Live telemetry: when the ambient publisher (:func:`repro.obs.live.
+get_publisher`) is enabled, each pool worker is initialized with its
+own :class:`~repro.obs.live.QueuePublisher` onto the parent's queue and
+every job streams lifecycle records, per-window counters, optional
+cProfile hot frames, and a metrics-registry snapshot back to the
+collector as it completes — see :mod:`repro.obs.live`.  With the
+default :class:`~repro.obs.live.NullPublisher` the entire machinery is
+one attribute read.
 """
 
 from __future__ import annotations
 
+import cProfile
 import inspect
 import os
 import time
@@ -42,9 +53,24 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from functools import partial
 from typing import Callable, Iterable, TypeVar
 
+from repro.obs.live import (
+    QueuePublisher,
+    get_publisher,
+    profile_frames,
+    result_records,
+    set_publisher,
+)
+from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 
-__all__ = ["JOBS_ENV_VAR", "JobError", "ProgressFn", "resolve_jobs", "run_jobs"]
+__all__ = [
+    "JOBS_ENV_VAR",
+    "JobError",
+    "ProgressFn",
+    "ProgressThrottle",
+    "resolve_jobs",
+    "run_jobs",
+]
 
 #: Environment variable consulted when no explicit ``n_jobs`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -165,6 +191,148 @@ def _timed_call(worker: Callable[[S], R], spec: S) -> tuple[R, float, int]:
     return value, time.perf_counter() - t0, os.getpid()
 
 
+class ProgressThrottle:
+    """Rate-limits a progress callback to one delivery per interval.
+
+    A 64-job sweep on a fast cache emits hundreds of completions per
+    second; redrawing a TTY line for each is wasted stderr traffic.
+    The throttle forwards at most one call per ``min_interval_s`` —
+    plus, always, the final ``done == total`` call so the finished line
+    lands — and keeps the 3-arg/4-arg hook contract: it accepts the
+    elapsed argument itself and forwards it only when the wrapped
+    callback does.
+    """
+
+    def __init__(
+        self,
+        progress: ProgressFn,
+        min_interval_s: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.progress = progress
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._last: float | None = None
+        self._with_elapsed = _accepts_elapsed(progress)
+        self.delivered = 0
+        self.dropped = 0
+
+    def __call__(
+        self, done: int, total: int, spec: object, elapsed: float = 0.0
+    ) -> None:
+        mark = self._clock()
+        if done < total and (
+            self._last is not None
+            and mark - self._last < self.min_interval_s
+        ):
+            self.dropped += 1
+            return
+        self._last = mark
+        self.delivered += 1
+        if self._with_elapsed:
+            self.progress(done, total, spec, elapsed)
+        else:
+            self.progress(done, total, spec)
+
+
+def _init_live_worker(channel: object, config: dict) -> None:
+    """Pool-worker initializer for live-telemetry runs.
+
+    Installs a worker-side :class:`~repro.obs.live.QueuePublisher` onto
+    the parent's queue (the one sanctioned worker-side ambient install —
+    each child owns its process-local slot) and resets the worker's
+    metrics registry: a forked child inherits the parent's counters, and
+    since workers publish snapshot-then-reset *deltas*, starting from
+    the parent's totals would double-count them on merge.
+    """
+    set_publisher(QueuePublisher(channel, worker=True, **config))
+    get_metrics().reset()
+    if config.get("profile"):
+        from repro.sim.engine import set_engine_profiling
+
+        set_engine_profiling(True)
+
+
+def _live_timed_call(worker: Callable[[S], R], spec: S) -> tuple[R, float, int]:
+    """Like :func:`_timed_call`, but streaming telemetry as it goes.
+
+    Publishes the job lifecycle (start/done/fail), stride-capped window
+    records from the job's result, cProfile hot frames when profiling,
+    and — in pool workers — the metrics-registry delta accumulated by
+    the job, then a throttled heartbeat.  Module-level so it pickles.
+    """
+    publisher = get_publisher()
+    pid = os.getpid()
+    name = _job_name(spec)
+    publisher.publish({"type": "job_start", "job": name, "pid": pid})
+    prof = cProfile.Profile() if publisher.profile else None
+    t0 = time.perf_counter()
+    try:
+        if prof is not None:
+            value = prof.runcall(worker, spec)
+        else:
+            value = worker(spec)
+    except Exception as exc:
+        publisher.publish(
+            {
+                "type": "job_fail",
+                "job": name,
+                "pid": pid,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        raise
+    elapsed = time.perf_counter() - t0
+    publisher.publish(
+        {
+            "type": "job_done",
+            "job": name,
+            "pid": pid,
+            "elapsed_s": round(elapsed, 6),
+        }
+    )
+    # SchemeResults are streamed by the parent's emit_scheme_events —
+    # the single seam that also covers cached and in-process scheme
+    # evaluations — so workers publish window records only for bare
+    # SimResults (alone/surface jobs).
+    if not hasattr(getattr(value, "result", None), "windows"):
+        for record in result_records(
+            value, getattr(spec, "tag", None), window_cap=publisher.window_cap
+        ):
+            publisher.publish(record)
+    if prof is not None:
+        publisher.publish(
+            {
+                "type": "profile",
+                "job": name,
+                "pid": pid,
+                "frames": profile_frames(prof, top=publisher.profile_top),
+            }
+        )
+    if publisher.worker:
+        # Ship this job's metrics delta; the parent merges it into the
+        # ambient registry.  The parent/serial path skips this — its
+        # registry *is* the ambient one, nothing to ship.
+        registry = get_metrics()
+        snapshot = registry.snapshot(timelines=True)
+        registry.reset()
+        if (
+            snapshot["counters"]
+            or snapshot["gauges"]
+            or snapshot["timers"]
+            or snapshot.get("timeline_points")
+        ):
+            publisher.publish(
+                {
+                    "type": "metrics",
+                    "label": f"pid{pid}",
+                    "snapshot": snapshot,
+                }
+            )
+    publisher.heartbeat()
+    return value, elapsed, pid
+
+
 def _notify(
     progress: ProgressFn | None,
     with_elapsed: bool,
@@ -200,19 +368,32 @@ def run_jobs(
         return []
     n_jobs = resolve_jobs(n_jobs)
     tracer = get_tracer()
+    publisher = get_publisher()
+    live = publisher.enabled
     with_elapsed = progress is not None and _accepts_elapsed(progress)
+
+    # The batch record seeds the dashboard's total/ETA.  Only the
+    # parent-side publisher announces it: a worker's own nested
+    # run_jobs (rare — cache hits short-circuit) would otherwise
+    # inflate the sweep total.
+    if live and not publisher.worker:
+        publisher.publish({"type": "batch", "total": total})
 
     if n_jobs == 1 or total == 1:
         results: list[R] = []
         for done, spec in enumerate(specs, start=1):
             t0 = time.perf_counter()
             try:
-                results.append(worker(spec))
+                if live:
+                    value, elapsed, _pid = _live_timed_call(worker, spec)
+                else:
+                    value = worker(spec)
+                    elapsed = time.perf_counter() - t0
+                results.append(value)
             except Exception as exc:
                 raise JobError(
                     spec, exc, duration=time.perf_counter() - t0
                 ) from exc
-            elapsed = time.perf_counter() - t0
             if tracer.enabled:
                 dur_us = elapsed * 1e6
                 tracer.complete(
@@ -227,12 +408,28 @@ def run_jobs(
         return results
 
     # Worker-side timing is only worth the extra pickling when someone
-    # consumes it: an enabled tracer or an elapsed-aware callback.
-    timed = tracer.enabled or with_elapsed
-    call = partial(_timed_call, worker) if timed else worker
+    # consumes it: an enabled tracer, an elapsed-aware callback, or the
+    # live stream (whose wrapper returns the same timed tuple).
+    timed = tracer.enabled or with_elapsed or live
+    if live:
+        call = partial(_live_timed_call, worker)
+    elif timed:
+        call = partial(_timed_call, worker)
+    else:
+        call = worker
+    pool_kwargs: dict = {}
+    if live:
+        # fork-inherited queue: the initializer installs a worker-side
+        # publisher bound to the parent collector's channel
+        pool_kwargs = {
+            "initializer": _init_live_worker,
+            "initargs": (publisher.channel, publisher.worker_config()),
+        }
 
     slots: list[R | None] = [None] * total
-    with ProcessPoolExecutor(max_workers=min(n_jobs, total)) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, total), **pool_kwargs
+    ) as pool:
         submitted = time.perf_counter()
         futures = {pool.submit(call, spec): i for i, spec in enumerate(specs)}
         done = 0

@@ -1,20 +1,51 @@
-"""repro.obs — structured tracing, metrics, and run manifests.
+"""repro.obs — structured tracing, metrics, manifests, live telemetry.
 
 A *leaf* package: stdlib-only, imported freely from ``repro.sim``,
 ``repro.core``, ``repro.exec``, and ``repro.experiments`` without
-creating layering violations (lint rule R004) or import cycles.
+creating layering violations (lint rule R004) or import cycles.  Two
+modules are the exception to "freely": :mod:`repro.obs.live` and
+:mod:`repro.obs.dashboard` sit *above* the simulator — they consume its
+outputs — so R004 forbids ``repro.sim`` from importing them (the engine
+reaches observability only through the tracer/metrics seam).
 
 * :mod:`repro.obs.trace` — span/instant/counter events in two clock
   domains (host wall time, simulated cycles), JSONL serialization.
-* :mod:`repro.obs.metrics` — ambient counters/gauges/timers/timelines.
+* :mod:`repro.obs.metrics` — ambient counters/gauges/timers/timelines,
+  with cross-process ``merge()`` for worker snapshots.
+* :mod:`repro.obs.live` — real-time NDJSON telemetry: worker publishers,
+  the parent-side collector, schema validation, profiling frames.
+* :mod:`repro.obs.dashboard` — live TTY dashboard / ``repro watch``.
+* :mod:`repro.obs.bench` — perf-history ledger for ``bench history``.
 * :mod:`repro.obs.chrome` — Chrome trace-event export for Perfetto.
 * :mod:`repro.obs.manifest` — per-run provenance manifests.
 * :mod:`repro.obs.summarize` — offline ``repro trace summarize``.
 * :mod:`repro.obs.io` — atomic file publication and JSONL reading.
 """
 
+from repro.obs.bench import (
+    append_bench_history,
+    load_bench_baseline,
+    load_bench_history,
+    render_bench_history,
+)
 from repro.obs.chrome import chrome_trace, write_chrome_trace
-from repro.obs.io import atomic_write_text, read_jsonl
+from repro.obs.dashboard import Dashboard, LiveState, render_lines, watch
+from repro.obs.io import JsonlAppender, append_jsonl, atomic_write_text, read_jsonl
+from repro.obs.live import (
+    LIVE_SCHEMA,
+    LIVE_SCHEMA_VERSION,
+    LiveHub,
+    NullPublisher,
+    QueuePublisher,
+    get_publisher,
+    live_header,
+    load_live,
+    parse_live,
+    profile_frames,
+    result_records,
+    set_publisher,
+    validate_live_record,
+)
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
     REQUIRED_FIELDS,
@@ -23,13 +54,19 @@ from repro.obs.manifest import (
     git_revision,
     validate_manifest,
 )
-from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    TimelinePoint,
+    get_metrics,
+    set_metrics,
+)
 from repro.obs.summarize import (
     decision_log,
     job_stats,
     resolve_trace_path,
     span_totals,
     summarize,
+    summary_data,
     window_timelines,
 )
 from repro.obs.trace import (
@@ -50,33 +87,57 @@ from repro.obs.trace import (
 __all__ = [
     "CLOCK_CYCLES",
     "CLOCK_WALL",
+    "Dashboard",
     "Event",
+    "JsonlAppender",
+    "LIVE_SCHEMA",
+    "LIVE_SCHEMA_VERSION",
+    "LiveHub",
+    "LiveState",
     "MANIFEST_FILENAME",
     "MetricsRegistry",
+    "NullPublisher",
     "NullTracer",
+    "QueuePublisher",
     "REQUIRED_FIELDS",
     "RunManifest",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
+    "TimelinePoint",
     "Tracer",
+    "append_bench_history",
+    "append_jsonl",
     "atomic_write_text",
     "chrome_trace",
     "config_fingerprint",
     "decision_log",
     "get_metrics",
+    "get_publisher",
     "get_tracer",
     "git_revision",
     "job_stats",
+    "live_header",
+    "load_bench_baseline",
+    "load_bench_history",
+    "load_live",
     "load_trace",
     "parse_events",
+    "parse_live",
+    "profile_frames",
     "read_jsonl",
+    "render_bench_history",
+    "render_lines",
     "resolve_trace_path",
+    "result_records",
     "set_metrics",
+    "set_publisher",
     "set_tracer",
     "span_totals",
     "summarize",
-    "tracing",
+    "summary_data",
+    "validate_live_record",
     "validate_manifest",
+    "watch",
     "window_timelines",
     "write_chrome_trace",
 ]

@@ -1,0 +1,168 @@
+"""The perf-history ledger behind ``repro bench history``.
+
+``scripts/bench_report.py`` measures engine throughput (cycles/sec,
+events/sec per mode) against the committed ``BENCH_engine.json``
+baseline; this module gives those measurements a durable trail.  Every
+report run appends one JSONL record per mode to
+``results/bench_history.jsonl`` via :func:`append_bench_history`, and
+``repro bench history`` renders the trend with
+:func:`render_bench_history` — recent runs per mode, deltas between
+consecutive runs, and the standing vs. the committed baseline — so a
+perf regression shows up as a trend, not a single noisy point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.io import append_jsonl, read_jsonl
+
+__all__ = [
+    "BENCH_HISTORY_SCHEMA",
+    "BENCH_HISTORY_VERSION",
+    "append_bench_history",
+    "load_bench_baseline",
+    "load_bench_history",
+    "render_bench_history",
+]
+
+BENCH_HISTORY_SCHEMA = "repro.obs.bench_history"
+BENCH_HISTORY_VERSION = 1
+
+#: Required per-record fields beyond the schema pair.
+_REQUIRED = ("recorded_at", "mode", "cases")
+
+
+def append_bench_history(path: Path, record: dict) -> None:
+    """Append one run's measurements for one mode to the ledger.
+
+    ``record`` needs ``recorded_at`` (ISO timestamp), ``mode`` (bench
+    mode name), and ``cases`` (case -> {cycles_per_sec, events_per_sec,
+    wall_s, ...}); ``git``/``python``/``machine`` provenance ride along
+    verbatim.  The schema pair is stamped here so callers cannot write
+    an unversioned line.
+    """
+    for field in _REQUIRED:
+        if field not in record:
+            raise ValueError(f"bench history record missing {field!r}")
+    stamped = {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "version": BENCH_HISTORY_VERSION,
+        **record,
+    }
+    append_jsonl(Path(path), stamped)
+
+
+def load_bench_history(path: Path) -> list[dict]:
+    """Read and validate the ledger; raises ValueError on bad lines."""
+    records = read_jsonl(Path(path))
+    for i, record in enumerate(records, start=1):
+        if record.get("schema") != BENCH_HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}: record {i}: schema is {record.get('schema')!r}, "
+                f"expected {BENCH_HISTORY_SCHEMA!r}"
+            )
+        if record.get("version") != BENCH_HISTORY_VERSION:
+            raise ValueError(
+                f"{path}: record {i}: version {record.get('version')!r} "
+                f"unsupported (expected {BENCH_HISTORY_VERSION})"
+            )
+        for field in _REQUIRED:
+            if field not in record:
+                raise ValueError(f"{path}: record {i}: missing {field!r}")
+    return records
+
+
+def _mean_rate(record: dict, key: str) -> float:
+    """Average a per-case rate across a record's cases."""
+    rates = [
+        float(case.get(key, 0.0))
+        for case in record.get("cases", {}).values()
+        if case.get(key)
+    ]
+    if not rates:
+        return 0.0
+    return sum(rates) / len(rates)
+
+
+def _baseline_rates(baseline: dict | None) -> dict[str, float]:
+    """mode -> baseline mean cycles/sec from a BENCH_engine.json dict."""
+    if not baseline:
+        return {}
+    out: dict[str, float] = {}
+    for mode, entry in baseline.get("modes", {}).items():
+        cases = entry.get("baseline", {}).get("cases", {})
+        rates = [
+            float(case.get("cycles_per_sec", 0.0))
+            for case in cases.values()
+            if case.get("cycles_per_sec")
+        ]
+        if rates:
+            out[mode] = sum(rates) / len(rates)
+    return out
+
+
+def render_bench_history(
+    records: list[dict],
+    *,
+    baseline: dict | None = None,
+    mode: str | None = None,
+    last: int = 10,
+) -> str:
+    """Render per-mode trend tables (most recent ``last`` runs each).
+
+    Each row shows the run's mean cycles/sec and events/sec across its
+    cases, the delta vs. the previous run of the same mode, and — when a
+    ``BENCH_engine.json`` dict is supplied — the delta vs. the committed
+    baseline.  A sustained negative trend is the regression signal the
+    single-shot bench report can't give.
+    """
+    by_mode: dict[str, list[dict]] = {}
+    for record in records:
+        by_mode.setdefault(str(record["mode"]), []).append(record)
+    base_rates = _baseline_rates(baseline)
+
+    lines: list[str] = []
+    for mode_name in sorted(by_mode):
+        if mode is not None and mode_name != mode:
+            continue
+        history = by_mode[mode_name]
+        lines.append(f"== bench history: {mode_name} ==")
+        header = (
+            f"  {'recorded_at':<20} {'cycles/s':>12} {'events/s':>12} "
+            f"{'vs prev':>8} {'vs base':>8}"
+        )
+        lines.append(header)
+        shown = history[-last:]
+        start = len(history) - len(shown)
+        for i, record in enumerate(shown):
+            rate = _mean_rate(record, "cycles_per_sec")
+            ev_rate = _mean_rate(record, "events_per_sec")
+            prev_idx = start + i - 1
+            if prev_idx >= 0:
+                prev = _mean_rate(history[prev_idx], "cycles_per_sec")
+                vs_prev = f"{(rate / prev - 1) * 100:+7.1f}%" if prev else "    n/a"
+            else:
+                vs_prev = "    n/a"
+            base = base_rates.get(mode_name, 0.0)
+            vs_base = f"{(rate / base - 1) * 100:+7.1f}%" if base else "    n/a"
+            lines.append(
+                f"  {str(record['recorded_at']):<20.20} {rate:>12.0f} "
+                f"{ev_rate:>12.0f} {vs_prev:>8} {vs_base:>8}"
+            )
+        if len(history) > len(shown):
+            lines.append(f"  ... {len(history) - len(shown)} earlier runs")
+        lines.append("")
+    if not lines:
+        scope = f"mode {mode!r}" if mode else "any mode"
+        return f"no bench history for {scope}\n"
+    return "\n".join(lines)
+
+
+def load_bench_baseline(path: Path) -> dict | None:
+    """Read BENCH_engine.json if present (None when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

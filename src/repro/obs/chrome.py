@@ -30,6 +30,9 @@ __all__ = ["chrome_trace", "write_chrome_trace"]
 
 _HOST_PID = 1
 _SIM_PID = 2
+#: dedicated track for ``--profile`` hot-frame instants, below the
+#: dynamically assigned worker range so the two never collide
+_PROFILE_TID = 90
 #: thread ids >= this are dynamically assigned worker tracks
 _WORKER_TID_BASE = 100
 
@@ -41,6 +44,7 @@ def chrome_trace(events: list[Event], run_id: str = "run") -> dict:
         _process_name(_SIM_PID, f"{run_id}: sim (1 cycle = 1 us)"),
     ]
     worker_tids: dict[object, int] = {}
+    any_profile = False
     for e in events:
         pid = _HOST_PID if e.clock == CLOCK_WALL else _SIM_PID
         tid = e.tid
@@ -49,6 +53,9 @@ def chrome_trace(events: list[Event], run_id: str = "run") -> dict:
             tid = worker_tids.setdefault(
                 worker, _WORKER_TID_BASE + len(worker_tids)
             )
+        elif e.ph == "i" and e.cat == "profile":
+            tid = _PROFILE_TID
+            any_profile = True
         record: dict = {
             "name": e.name,
             "cat": e.cat,
@@ -71,6 +78,8 @@ def chrome_trace(events: list[Event], run_id: str = "run") -> dict:
         out.append(record)
     for worker, tid in sorted(worker_tids.items(), key=lambda kv: kv[1]):
         out.append(_thread_name(_HOST_PID, tid, f"worker {worker}"))
+    if any_profile:
+        out.append(_thread_name(_HOST_PID, _PROFILE_TID, "profiling"))
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
 

@@ -7,11 +7,21 @@ timer totals.  A single ambient registry (:func:`get_metrics`) is always
 on; its operations are dict updates, so even untraced runs can afford
 them on non-simulation paths (never call these from the per-cycle
 simulator hot loop).
+
+Cross-process aggregation: pool workers each accumulate into their own
+child-process registry, which the parent can never see directly.  The
+live-telemetry collector (:mod:`repro.obs.live`) therefore ships worker
+snapshots over the event queue and folds them into the parent's ambient
+registry with :meth:`MetricsRegistry.merge` — counters and timers fold
+additively (merge is associative and commutative over them), gauges are
+namespaced by the worker label (``name@label``) so two workers' values
+never silently clobber each other, and timeline points interleave in
+time order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "MetricsRegistry",
@@ -37,6 +47,9 @@ class MetricsRegistry:
         self.gauges: dict[str, float] = {}
         self._timers: dict[str, dict[str, float]] = {}
         self._timelines: dict[tuple[str, int], list[TimelinePoint]] = {}
+        #: timeline keys whose points arrived out of time order and need
+        #: a (stable) sort before they are read back
+        self._unsorted: set[tuple[str, int]] = set()
 
     # --- counters / gauges ---------------------------------------------
 
@@ -63,13 +76,24 @@ class MetricsRegistry:
     # --- timelines -----------------------------------------------------
 
     def record_point(self, series: str, app_id: int, t: float, value: float) -> None:
-        """Append one (t, value) sample to ``series`` for ``app_id``."""
-        self._timelines.setdefault((series, app_id), []).append(
-            TimelinePoint(t, value)
-        )
+        """Append one (t, value) sample to ``series`` for ``app_id``.
+
+        Points may arrive out of time order (merged worker snapshots
+        interleave several clocks); :meth:`timeline` returns them sorted
+        by ``t``, stably, so equal-time points keep arrival order.
+        """
+        key = (series, app_id)
+        points = self._timelines.setdefault(key, [])
+        if points and t < points[-1].t:
+            self._unsorted.add(key)
+        points.append(TimelinePoint(t, value))
 
     def timeline(self, series: str, app_id: int) -> list[TimelinePoint]:
-        return list(self._timelines.get((series, app_id), []))
+        key = (series, app_id)
+        if key in self._unsorted:
+            self._timelines[key].sort(key=lambda p: p.t)
+            self._unsorted.discard(key)
+        return list(self._timelines.get(key, []))
 
     def timeline_series(self) -> list[tuple[str, int]]:
         """Every (series, app_id) pair with at least one sample."""
@@ -77,9 +101,16 @@ class MetricsRegistry:
 
     # --- export --------------------------------------------------------
 
-    def snapshot(self) -> dict:
-        """A JSON-serializable snapshot of every aggregate."""
-        return {
+    def snapshot(self, timelines: bool = False) -> dict:
+        """A JSON-serializable snapshot of every aggregate.
+
+        By default timelines are condensed to per-series sample counts
+        (the manifest-friendly shape).  With ``timelines=True`` the full
+        point data rides along under ``timeline_points`` — the shape
+        :meth:`merge` and :meth:`from_snapshot` consume, so a worker
+        registry can cross the process boundary without loss.
+        """
+        snap = {
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "timers": {k: dict(v) for k, v in sorted(self._timers.items())},
@@ -88,12 +119,64 @@ class MetricsRegistry:
                 for (series, app), points in sorted(self._timelines.items())
             },
         }
+        if timelines:
+            snap["timeline_points"] = {
+                f"{series}/app{app}": [
+                    [p.t, p.value] for p in self.timeline(series, app)
+                ]
+                for (series, app) in sorted(self._timelines)
+            }
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Reconstruct a registry from a full (``timelines=True``) snapshot."""
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+    def merge(self, snapshot: dict, label: str | None = None) -> None:
+        """Fold another registry's snapshot into this one.
+
+        ``snapshot`` is the dict produced by :meth:`snapshot` (timeline
+        points are folded only when present, i.e. ``timelines=True``
+        snapshots).  Semantics, chosen so merging worker registries into
+        the parent is order-insensitive where it can be:
+
+        * counters and timers fold additively — associative and
+          commutative, so any merge order yields the same totals;
+        * gauges are last-write-wins *per name*; with ``label`` the name
+          becomes ``name@label``, so distinct workers' gauges coexist
+          instead of colliding (merging the same label twice still
+          overwrites — one worker, one slot);
+        * timeline points interleave and read back in time order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(f"{name}@{label}" if label else name, value)
+        for name, timer in snapshot.get("timers", {}).items():
+            slot = self._timers.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            slot["count"] += timer.get("count", 0)
+            slot["total_s"] += timer.get("total_s", 0.0)
+            slot["max_s"] = max(slot["max_s"], timer.get("max_s", 0.0))
+        for key, points in snapshot.get("timeline_points", {}).items():
+            series, _, app_part = key.rpartition("/app")
+            try:
+                app_id = int(app_part)
+            except ValueError:
+                continue
+            for t, value in points:
+                self.record_point(series, app_id, t, value)
 
     def reset(self) -> None:
         self.counters.clear()
         self.gauges.clear()
         self._timers.clear()
         self._timelines.clear()
+        self._unsorted.clear()
 
 
 _METRICS = MetricsRegistry()

@@ -17,10 +17,13 @@ from repro.obs.trace import CLOCK_WALL, Event, load_trace
 
 __all__ = [
     "decision_log",
+    "engine_counters",
     "job_stats",
+    "live_stream_stats",
     "resolve_trace_path",
     "span_totals",
     "summarize",
+    "summary_data",
     "window_timelines",
 ]
 
@@ -137,6 +140,132 @@ def decision_log(events: list[Event]) -> dict[tuple[str, str], list]:
     for entries in log.values():
         entries.sort(key=lambda d: d["cycle"])
     return log
+
+
+def engine_counters(metrics: dict | None) -> dict:
+    """Pull the engine self-profiling aggregates out of a metrics snapshot.
+
+    Returns ``{"counters": {...}, "gauges": {...}}`` restricted to the
+    ``engine.`` namespace the simulator publishes under ``--profile``
+    (dispatches per stage, wheel/pool high-water marks); both empty when
+    the run was not profiled.
+    """
+    out: dict = {"counters": {}, "gauges": {}}
+    if not isinstance(metrics, dict):
+        return out
+    for kind in ("counters", "gauges"):
+        values = metrics.get(kind)
+        if isinstance(values, dict):
+            out[kind] = {
+                name: value
+                for name, value in sorted(values.items())
+                if str(name).startswith("engine.")
+            }
+    return out
+
+
+def live_stream_stats(run_dir: Path) -> dict | None:
+    """Record-type counts for the run's ``live.ndjson``, if it has one.
+
+    Returns ``None`` when the run was not live-streamed; otherwise
+    ``{"records", "types": {type: count}, "dropped", "invalid"}`` (the
+    last two from the ``stream_end`` trailer when present).
+    """
+    path = Path(run_dir) / "live.ndjson"
+    if not path.is_file():
+        return None
+    from repro.obs.live import load_live
+
+    try:
+        _header, records = load_live(path)
+    except (ValueError, OSError):
+        return {"records": 0, "types": {}, "dropped": 0, "invalid": -1}
+    types: dict[str, int] = {}
+    dropped = 0
+    invalid = 0
+    for record in records:
+        rtype = str(record.get("type", "?"))
+        types[rtype] = types.get(rtype, 0) + 1
+        if rtype == "stream_end":
+            dropped = int(record.get("dropped", 0))
+            invalid = int(record.get("invalid", 0))
+    return {
+        "records": len(records),
+        "types": dict(sorted(types.items())),
+        "dropped": dropped,
+        "invalid": invalid,
+    }
+
+
+def summary_data(target: str | Path, root: Path | None = None) -> dict:
+    """The full summary as one JSON-serializable dict (``--json``).
+
+    Mirrors every section of the text renderer — manifest (plus its
+    validation problems), phase totals, sweep-job stats, window-timeline
+    aggregates, decision counts, engine self-profiling counters, and
+    live-stream record counts — keyed stably so CI can assert on it
+    instead of scraping the human output.
+    """
+    trace_path = resolve_trace_path(target, root=root)
+    header, events = load_trace(trace_path)
+    run_dir = trace_path.parent
+
+    manifest: dict | None = None
+    manifest_problems: list[str] = []
+    manifest_path = run_dir / MANIFEST_FILENAME
+    if manifest_path.is_file():
+        try:
+            loaded = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            manifest_problems = [f"unreadable manifest: {exc}"]
+        else:
+            if isinstance(loaded, dict):
+                manifest = loaded
+                manifest_problems = validate_manifest(loaded)
+            else:
+                manifest_problems = ["manifest is not a JSON object"]
+
+    timelines = {
+        f"{workload}|{scheme}|app{app}": {
+            "windows": len(samples),
+            "first_cycle": samples[0][0],
+            "last_cycle": samples[-1][0],
+            "mean": {
+                key: sum(s[1].get(key, 0.0) for s in samples) / len(samples)
+                for key in ("eb", "bw", "cmr")
+            },
+        }
+        for (workload, scheme, app), samples in sorted(
+            window_timelines(events).items()
+        )
+    }
+    decisions = {
+        f"{workload}|{scheme}": {
+            "count": len(entries),
+            "kinds": _kind_counts(entries),
+        }
+        for (workload, scheme), entries in sorted(decision_log(events).items())
+    }
+    return {
+        "trace": str(trace_path),
+        "run_id": header.get("run_id"),
+        "n_events": len(events),
+        "manifest": manifest,
+        "manifest_problems": manifest_problems,
+        "phases": span_totals(events, tid=0),
+        "jobs": job_stats(events),
+        "window_timelines": timelines,
+        "decisions": decisions,
+        "engine": engine_counters((manifest or {}).get("metrics")),
+        "live": live_stream_stats(run_dir),
+    }
+
+
+def _kind_counts(entries: list[dict]) -> dict[str, int]:
+    kinds: dict[str, int] = {}
+    for d in entries:
+        kinds[d["kind"]] = kinds.get(d["kind"], 0) + 1
+    return dict(sorted(kinds.items()))
 
 
 # --- rendering ----------------------------------------------------------
@@ -308,5 +437,32 @@ def summarize(target: str | Path, root: Path | None = None) -> str:
                     f"{tuple(d.get('combo', ()))} after "
                     f"{d.get('n_samples', '?')} samples"
                 )
+
+    metrics = None
+    if manifest_path.is_file():
+        try:
+            loaded = json.loads(manifest_path.read_text())
+            if isinstance(loaded, dict):
+                metrics = loaded.get("metrics")
+        except (OSError, json.JSONDecodeError):
+            metrics = None
+    engine = engine_counters(metrics)
+    if engine["counters"] or engine["gauges"]:
+        lines.append("")
+        lines.append("== engine counters ==")
+        for name, value in engine["counters"].items():
+            lines.append(f"  {name:<36} {value:>14,.0f}")
+        for name, value in engine["gauges"].items():
+            lines.append(f"  {name:<36} {value:>14,.0f}  (high water)")
+
+    live = live_stream_stats(trace_path.parent)
+    if live is not None:
+        lines.append("")
+        lines.append("== live stream ==")
+        type_s = ", ".join(f"{k}={n}" for k, n in live["types"].items())
+        lines.append(
+            f"  {live['records']} records ({type_s or 'none'})  "
+            f"dropped={live['dropped']}  invalid={live['invalid']}"
+        )
 
     return "\n".join(lines)

@@ -9,7 +9,12 @@ The paper's TLP-management mechanisms (``repro.core``) sit on top of it.
 from repro.sim.address import AddressMap
 from repro.sim.cache import CacheStats, MSHRTable, SetAssocCache
 from repro.sim.dram import DRAMChannel
-from repro.sim.engine import EventQueue, SimResult, Simulator
+from repro.sim.engine import (
+    EventQueue,
+    SimResult,
+    Simulator,
+    set_engine_profiling,
+)
 from repro.sim.probes import (
     LatencyHistogram,
     OccupancyProbe,
@@ -34,4 +39,5 @@ __all__ = [
     "QueueDepthProbe",
     "OccupancyProbe",
     "attach",
+    "set_engine_profiling",
 ]

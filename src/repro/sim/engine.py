@@ -51,6 +51,7 @@ from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import GPUConfig
+from repro.obs.metrics import get_metrics
 from repro.sim.address import AddressMap
 from repro.sim.cache import MSHRTable, SetAssocCache
 from repro.sim.core import Core, Warp
@@ -70,7 +71,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.controller import TLPController
     from repro.workloads.synthetic import AppProfile
 
-__all__ = ["EventQueue", "MemTxn", "Simulator", "SimResult"]
+__all__ = [
+    "EventQueue",
+    "MemTxn",
+    "Simulator",
+    "SimResult",
+    "set_engine_profiling",
+]
 
 
 class MemTxn:
@@ -158,6 +165,42 @@ _L1_FILL_MULTI = MemTxn.L1_FILL_MULTI
 
 #: shared immutable default for MSHR release when no waiter is registered
 _EMPTY: tuple = ()
+
+#: metric-name suffixes for the engine self-profiling dispatch counters,
+#: indexed by MemTxn stage id
+_STAGE_NAMES = (
+    "compute_done",
+    "warp_resp",
+    "l2_access",
+    "l1_fill",
+    "retry_l1",
+    "retry_l2",
+    "retry_dram",
+    "l1_fill_multi",
+)
+
+#: process-wide opt-in for engine self-profiling (``--profile``).  Read
+#: once at Simulator construction so toggling mid-run has no effect;
+#: when off, the only hot-path cost is one ``is not None`` check per
+#: dispatch (the same discipline as NullTracer / NullPublisher).
+_ENGINE_PROFILING = False
+
+
+def set_engine_profiling(on: bool) -> bool:
+    """Enable/disable engine self-profiling; returns the previous state.
+
+    When on, each subsequently built :class:`Simulator` counts events
+    dispatched per stage and samples wheel/pool high-water marks at
+    window boundaries, folding the aggregates into the ambient
+    :class:`~repro.obs.metrics.MetricsRegistry` at the end of ``run()``
+    under the ``engine.`` namespace.  Profiling never touches
+    :class:`SimResult` (lint rule R003: the cache schema is fixed), so
+    profiled and unprofiled runs stay bit-identical.
+    """
+    global _ENGINE_PROFILING
+    previous = _ENGINE_PROFILING
+    _ENGINE_PROFILING = bool(on)
+    return previous
 
 
 class EventQueue:
@@ -341,7 +384,8 @@ class Simulator:
         "_channel_of", "_bank_row_of", "_req_ports", "_resp_ports",
         "_l1_hit_latency", "_l2_hit_latency", "_dram_cb", "_dram_drain_cb",
         "_busy_at_measurement", "_txn_pool", "_req_pool", "_interleave",
-        "_n_channels", "_row_bytes", "_banks_per_channel",
+        "_n_channels", "_row_bytes", "_banks_per_channel", "_prof",
+        "_prof_hw",
     )
 
     def __init__(
@@ -464,6 +508,13 @@ class Simulator:
         # never enter the pool — only objects with no remaining owner.
         self._txn_pool: list[MemTxn] = []
         self._req_pool: list[DRAMRequest] = []
+        # Self-profiling (``--profile``): per-stage dispatch counts plus
+        # wheel/txn-pool/req-pool high-water marks.  ``_prof is None``
+        # is the off switch the dispatch hot path checks.
+        self._prof: list[int] | None = (
+            [0] * len(_STAGE_NAMES) if _ENGINE_PROFILING else None
+        )
+        self._prof_hw = [0, 0, 0]
 
         # Populate warp contexts; warps of one core share a sequential
         # cursor so adjacent warps touch adjacent lines (row locality).
@@ -529,6 +580,9 @@ class Simulator:
         drained through it as backpressure lifts.
         """
         stage = txn.stage
+        prof = self._prof
+        if prof is not None:
+            prof[stage] += 1
         if stage == _COMPUTE_DONE:
             core = txn.core
             if core.tick_head is txn:
@@ -1223,6 +1277,10 @@ class Simulator:
 
         self.events.run_until(float(max_cycles))
 
+        if self._prof is not None:
+            self._sample_profiling()
+            self._publish_profiling()
+
         samples = self.collector.measurement(float(max_cycles))
         measured = float(max_cycles) - warmup
         busy = sum(
@@ -1244,12 +1302,55 @@ class Simulator:
         only the measured (post-warmup) region."""
         self.collector.start_measurement(now)
         self._busy_at_measurement = [ch.busy_cycles for ch in self.channels]
+        if self._prof is not None:
+            self._sample_profiling()
+
+    def _sample_profiling(self) -> None:
+        """Fold current occupancies into the high-water marks.
+
+        Called at window boundaries (and warmup end / run end), not per
+        event, so profiling adds nothing to the dispatch loop beyond the
+        per-stage increment.
+        """
+        hw = self._prof_hw
+        hw[0] = max(hw[0], len(self.events))
+        hw[1] = max(hw[1], len(self._txn_pool))
+        hw[2] = max(hw[2], len(self._req_pool))
+
+    def _publish_profiling(self) -> None:
+        """Fold self-profiling aggregates into the ambient registry.
+
+        Counters are additive across the Simulators of one run (a sweep
+        job simulates several configurations); high-water gauges take
+        the max so the registry reports the worst case seen.  This is
+        the R003-safe seam: nothing profiling-related enters SimResult.
+        """
+        registry = get_metrics()
+        prof = self._prof
+        assert prof is not None
+        dispatched = 0
+        for stage_id, name in enumerate(_STAGE_NAMES):
+            count = prof[stage_id]
+            dispatched += count
+            if count:
+                registry.inc(f"engine.dispatch.{name}", count)
+        registry.inc("engine.events.dispatched", dispatched)
+        for name, value in (
+            ("engine.wheel.high_water", self._prof_hw[0]),
+            ("engine.txn_pool.high_water", self._prof_hw[1]),
+            ("engine.req_pool.high_water", self._prof_hw[2]),
+        ):
+            registry.set_gauge(
+                name, max(registry.gauges.get(name, 0.0), float(value))
+            )
 
     def _schedule_controller_window(self, when: Cycles) -> None:
         self.events.push(when, self._controller_window)
 
     def _controller_window(self, now: Cycles) -> None:
         assert self.controller is not None
+        if self._prof is not None:
+            self._sample_profiling()
         windows = self.collector.cut_window(now)
         self.window_log.append((now, windows))
         self.controller.on_window(self, now, windows)

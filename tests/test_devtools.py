@@ -319,6 +319,29 @@ class TestR004Layering:
         )
         assert lint_tree(tmp_path, {"src/repro/sim/foo.py": src}, select=["R004"]) == []
 
+    def test_sim_importing_live_telemetry_flagged(self, tmp_path):
+        src = "from repro.obs.live import get_publisher\n"
+        findings = lint_tree(
+            tmp_path, {"src/repro/sim/foo.py": src}, select=["R004"]
+        )
+        assert rules_of(findings) == {"R004"}
+        assert "tracer/metrics seam" in findings[0].message
+        dash = "import repro.obs.dashboard\n"
+        findings = lint_tree(
+            tmp_path, {"src/repro/sim/bar.py": dash}, select=["R004"]
+        )
+        assert rules_of(findings) == {"R004"}
+
+    def test_sim_using_metrics_seam_clean(self, tmp_path):
+        # The sanctioned engine observability seam: metrics + tracer.
+        src = (
+            "from repro.obs.metrics import get_metrics\n"
+            "from repro.obs.trace import get_tracer\n"
+        )
+        assert lint_tree(
+            tmp_path, {"src/repro/sim/foo.py": src}, select=["R004"]
+        ) == []
+
     def test_tests_exempt(self, tmp_path):
         src = "from repro.sim.engine import EventQueue\n"
         assert lint_tree(tmp_path, {"tests/test_foo.py": src}, select=["R004"]) == []

@@ -235,6 +235,86 @@ class TestMetricsRegistry:
             assert set_metrics(original) is fresh
 
 
+class TestMetricsMerge:
+    """Cross-process folding semantics (the live-collector contract)."""
+
+    def _worker(self, n: float) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("jobs", n)
+        reg.observe("sweep", n)
+        reg.set_gauge("high_water", n)
+        reg.record_point("eb", 0, t=100.0 * n, value=n)
+        return reg
+
+    def test_counter_and_timer_merge_is_associative(self):
+        snaps = [
+            self._worker(n).snapshot(timelines=True) for n in (1, 2, 3)
+        ]
+        left = MetricsRegistry()        # (a + b) + c
+        left.merge(snaps[0])
+        left.merge(snaps[1])
+        left.merge(snaps[2])
+        ab = MetricsRegistry()          # a + (b + c) via an intermediate
+        ab.merge(snaps[1])
+        ab.merge(snaps[2])
+        right = MetricsRegistry()
+        right.merge(snaps[0])
+        right.merge(ab.snapshot(timelines=True))
+        assert left.counters == right.counters == {"jobs": 6}
+        assert left.timer("sweep") == right.timer("sweep")
+        assert left.timer("sweep") == {
+            "count": 3, "total_s": 6.0, "max_s": 3.0,
+        }
+
+    def test_gauge_labels_keep_workers_apart(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker(1).snapshot(), label="pid1")
+        parent.merge(self._worker(2).snapshot(), label="pid2")
+        assert parent.gauges == {
+            "high_water@pid1": 1.0, "high_water@pid2": 2.0,
+        }
+        # same label twice: one worker, one slot — last write wins
+        parent.merge(self._worker(5).snapshot(), label="pid1")
+        assert parent.gauges["high_water@pid1"] == 5.0
+        # unlabelled merges collide by design
+        bare = MetricsRegistry()
+        bare.merge(self._worker(1).snapshot())
+        bare.merge(self._worker(2).snapshot())
+        assert bare.gauges == {"high_water": 2.0}
+
+    def test_full_snapshot_round_trips(self):
+        reg = self._worker(4)
+        clone = MetricsRegistry.from_snapshot(reg.snapshot(timelines=True))
+        assert clone.snapshot(timelines=True) == reg.snapshot(timelines=True)
+        assert clone.timeline("eb", 0) == reg.timeline("eb", 0)
+
+    def test_condensed_snapshot_drops_timeline_points(self):
+        reg = self._worker(4)
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.timeline("eb", 0) == []
+        assert clone.counters == reg.counters
+
+    def test_out_of_order_points_read_back_sorted_stably(self):
+        reg = MetricsRegistry()
+        reg.record_point("eb", 0, t=300.0, value=3.0)
+        reg.record_point("eb", 0, t=100.0, value=1.0)
+        reg.record_point("eb", 0, t=100.0, value=1.5)  # equal-time: keeps order
+        reg.record_point("eb", 0, t=200.0, value=2.0)
+        values = [p.value for p in reg.timeline("eb", 0)]
+        assert values == [1.0, 1.5, 2.0, 3.0]
+
+    def test_reset_isolates_subsequent_merges(self):
+        reg = self._worker(1)
+        reg.reset()
+        assert reg.snapshot(timelines=True) == {
+            "counters": {}, "gauges": {}, "timers": {}, "timelines": {},
+            "timeline_points": {},
+        }
+        reg.merge(self._worker(2).snapshot(timelines=True))
+        assert reg.counters == {"jobs": 2}  # no residue from before reset
+        assert [p.value for p in reg.timeline("eb", 0)] == [2.0]
+
+
 # --- chrome export ------------------------------------------------------------
 
 
@@ -582,3 +662,39 @@ class TestProgressLine:
         assert "[1/5]" in out and "BLK alone 8" in out
         assert "2.0s" in out  # per-job elapsed rendered
         assert out.endswith("\n")  # final frame closes the line
+
+    def test_rate_and_eta_rendered_mid_sweep(self, monkeypatch):
+        from repro import cli
+
+        class FakeTTY(io.StringIO):
+            def isatty(self):
+                return True
+
+        clock = iter([10.0, 12.0, 14.0]).__next__
+        printer = cli._ProgressPrinter(clock=clock)
+        fake = FakeTTY()
+        monkeypatch.setattr(sys, "stderr", fake)
+        printer(1, 5, self._spec(), 2.0)  # anchor backdated to t=8
+        printer(2, 5, self._spec(), 2.0)
+        out = fake.getvalue()
+        assert "0.5/s" in out  # 2 done over the 4s since the anchor
+        assert "ETA    6s" in out  # 3 remaining at 0.5/s
+
+    def test_new_batch_reanchors_the_rate_clock(self, monkeypatch):
+        from repro import cli
+
+        class FakeTTY(io.StringIO):
+            def isatty(self):
+                return True
+
+        clock = iter([0.0, 100.0, 102.0]).__next__
+        printer = cli._ProgressPrinter(clock=clock)
+        fake = FakeTTY()
+        monkeypatch.setattr(sys, "stderr", fake)
+        printer(2, 2, self._spec(), 1.0)  # first batch finishes
+        printer(1, 2, self._spec(), 1.0)  # done fell: new batch, new anchor
+        printer(2, 2, self._spec(), 1.0)
+        frames = fake.getvalue().split("\r")
+        # the second batch's rate reflects its own 3s span, not the gap
+        assert "  1.0/s" in frames[2]
+        assert "0.7/s" in frames[3]
