@@ -12,6 +12,12 @@ Commands
 ``compare APP_A APP_B [--schemes S1,S2,...]``
     Evaluate several schemes side by side on one workload.
 
+``sim open --scenario NAME [--policy P]``
+    Run an open-system scenario: applications arrive and depart mid-run
+    while a registered scheduler policy (see ``docs/policies.md``)
+    adapts.  Reports time-weighted WS/FI/HS over the churning roster
+    and the roster timeline.
+
 ``table4``
     Regenerate the Table IV characterization for the whole zoo.
 
@@ -65,6 +71,7 @@ from repro.devtools.linter import add_arguments as lint_add_arguments
 from repro.devtools.linter import run as lint_run
 from repro.exec import ProgressThrottle, resolve_jobs
 from repro.experiments.common import CACHE_FORMAT, ExperimentContext
+from repro.experiments.open_system import SCENARIOS, run_open_scenario
 from repro.experiments.report import render_table
 from repro.experiments.table4 import run_table4
 from repro.obs.bench import (
@@ -95,7 +102,7 @@ _CONFIGS = {
 DEFAULT_TRACE_DIR = "results/traces"
 
 #: Commands that run simulations (and therefore accept ``--trace``).
-_SIM_COMMANDS = ("profile", "run", "compare", "table4")
+_SIM_COMMANDS = ("profile", "run", "compare", "table4", "sim")
 
 
 def _add_common_options(parser: argparse.ArgumentParser, *, top: bool) -> None:
@@ -159,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes",
         default="besttlp,maxtlp,dyncta,modbypass,pbs-ws,opt-ws",
         help="comma-separated scheme names",
+    )
+
+    p_sim = add_command("sim", "open-system simulation runs")
+    sim_sub = p_sim.add_subparsers(dest="sim_command", required=True)
+    p_open = sim_sub.add_parser(
+        "open", help="run an open-system arrival/departure scenario"
+    )
+    _add_common_options(p_open, top=False)
+    p_open.add_argument(
+        "--scenario", default="two-phase", choices=sorted(SCENARIOS),
+        help="named scenario (default: two-phase)",
+    )
+    p_open.add_argument(
+        "--policy", default="pbs-ws",
+        help="registered scheduler policy (default: pbs-ws); "
+        "see `repro sim open --list-policies`",
+    )
+    p_open.add_argument(
+        "--list-policies", action="store_true",
+        help="list registered policies and exit",
     )
 
     add_command("table4", "regenerate the Table IV characterization")
@@ -364,6 +391,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    # Only `sim open` exists today; the subparser enforces that.
+    from repro.core.policy import available_policies
+    from repro.core.runner import emit_scheme_events
+
+    if args.list_policies:
+        for name in available_policies():
+            print(name)
+        return 0
+    if args.policy not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; available: "
+            f"{', '.join(available_policies())}",
+            file=sys.stderr,
+        )
+        return 2
+    ctx = _context(args)
+    scenario = SCENARIOS[args.scenario]
+    report = run_open_scenario(ctx, scenario, policy=args.policy)
+    emit_scheme_events(report)
+    print(render_table(
+        ("metric", "value"),
+        [
+            ("arrivals", report.n_arrivals),
+            ("departures", report.n_departures),
+            ("epochs", len(report.epochs)),
+            ("TW-WS", report.ws),
+            ("TW-FI", report.fi),
+            ("TW-HS", report.hs),
+        ],
+        title=f"open-system {scenario.name} under {args.policy}",
+    ))
+    if report.result.roster:
+        print()
+        print(render_table(
+            ("cycle", "event", "app", "abbr", "roster", "cores"),
+            [
+                (int(r["cycle"]), r["event"], r["app"], r["abbr"],
+                 ",".join(str(a) for a in r["roster"]),
+                 ",".join(str(c) for c in r["cores"]))
+                for r in report.result.roster
+            ],
+            title="roster timeline",
+        ))
+    return 0
+
+
 def _cmd_table4(args: argparse.Namespace) -> int:
     print(run_table4(_context(args)).render())
     return 0
@@ -438,6 +512,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sim": _cmd_sim,
     "table4": _cmd_table4,
     "zoo": _cmd_zoo,
     "lint": lint_run,

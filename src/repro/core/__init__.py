@@ -10,6 +10,9 @@ This package contains:
   PBS-HS), both the pure search algorithm and the online controller;
 * :mod:`repro.core.offline` — PBS-Offline, the brute-force EB searches
   (BF-*), and the SD-metric oracles (optWS / optFI / optHS);
+* :mod:`repro.core.policy` — the pluggable policy registry mapping
+  names (``pbs-ws``, ``dyncta``, …) to picklable controller factories,
+  with ``repro.policies`` entry-point discovery for third parties;
 * :mod:`repro.core.dyncta` — the DynCTA latency-driven baseline;
 * :mod:`repro.core.modbypass` — the Mod+Bypass baseline (TLP modulation
   plus cache bypassing);
@@ -23,6 +26,12 @@ from repro.core.dyncta import DynCTAController
 from repro.core.modbypass import ModBypassController
 from repro.core.offline import brute_force_search, oracle_search, pbs_offline_search
 from repro.core.pbs import PBSController, pbs_search
+from repro.core.policy import (
+    available_policies,
+    get_policy,
+    make_policy,
+    register_policy,
+)
 from repro.core.splitsearch import joint_split_search, live_pbs_search
 from repro.core.runner import (
     AloneProfile,
@@ -55,4 +64,8 @@ __all__ = [
     "clamp_level",
     "level_up",
     "level_down",
+    "register_policy",
+    "get_policy",
+    "make_policy",
+    "available_policies",
 ]

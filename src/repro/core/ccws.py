@@ -55,18 +55,43 @@ class CCWSController(BaseController):
         #: baseline the victim-tag array would estimate
         self.best_l1_mr: dict[int, float] = {}
         self.decisions: list[tuple[float, int, int]] = []
+        #: live app ids, ascending; closed-system runs keep range(n_apps)
+        self._live: list[int] = list(range(n_apps))
 
     def start(self, sim: "Simulator", now: float) -> None:
+        live = getattr(sim, "live_apps", None)
+        if live is not None:
+            self._live = list(live)
+            self.n_apps = len(self._live)
         start_level = clamp_level(self.initial_tlp, self.levels)
-        for app in range(self.n_apps):
+        for app in self._live:
             self.tlp[app] = start_level
             self.best_l1_mr[app] = 1.0
             sim.set_tlp(app, start_level)
 
+    def on_attach(self, sim: "Simulator", now: float, app_id: int) -> None:
+        if app_id not in self._live:
+            self._live.append(app_id)
+            self._live.sort()
+        self.n_apps = len(self._live)
+        level = clamp_level(self.initial_tlp, self.levels)
+        self.tlp[app_id] = level
+        self.best_l1_mr[app_id] = 1.0
+        self.note_decision("attach", now, app=app_id, tlp=level)
+        sim.set_tlp(app_id, level)
+
+    def on_detach(self, sim: "Simulator", now: float, app_id: int) -> None:
+        if app_id in self._live:
+            self._live.remove(app_id)
+        self.n_apps = len(self._live)
+        self.tlp.pop(app_id, None)
+        self.best_l1_mr.pop(app_id, None)
+        self.note_decision("detach", now, app=app_id)
+
     def on_window(
         self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
     ) -> None:
-        for app in range(self.n_apps):
+        for app in self._live:
             sample = windows[app]
             if sample.l1_miss_rate < self.best_l1_mr[app]:
                 self.best_l1_mr[app] = sample.l1_miss_rate

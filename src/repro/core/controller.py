@@ -43,7 +43,16 @@ DEFAULT_SAMPLE_PERIOD: WholeCycles = 3000
 
 
 class TLPController(Protocol):
-    """What the simulator requires of a runtime TLP controller."""
+    """What the simulator requires of a runtime TLP controller.
+
+    This is the stable policy-hook API: ``start`` once at cycle 0,
+    ``on_window`` every sampling window, and — in open-system runs —
+    ``on_attach``/``on_detach`` whenever the tenancy manager changes the
+    roster.  Policies actuate through :meth:`BaseController.actuate`
+    (delayed TLP changes) or the simulator's bypass setters.  Register
+    implementations with :func:`repro.core.policy.register_policy` to
+    make them selectable by name.
+    """
 
     sample_period: Cycles
 
@@ -55,6 +64,14 @@ class TLPController(Protocol):
         self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:
         """Called at the end of each sampling window."""
+        ...
+
+    def on_attach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        """Called after an application attached (roster already updated)."""
+        ...
+
+    def on_detach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        """Called after an application detached (roster already updated)."""
         ...
 
 
@@ -92,6 +109,12 @@ class BaseController:
         self, sim: "Simulator", now: Cycles, windows: dict[int, WindowSample]
     ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def on_attach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        """Default: ignore arrivals (the engine started them at maxTLP)."""
+
+    def on_detach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        """Default: ignore departures (the engine retired their state)."""
 
 
 class StaticController(BaseController):

@@ -74,6 +74,17 @@ class ModBypassController(DynCTAController):
         self._windows_seen = 0
         self.bypass_events: list[tuple[float, int, bool]] = []
 
+    def on_attach(self, sim: "Simulator", now: float, app_id: int) -> None:
+        super().on_attach(sim, now, app_id)
+        self._evidence[app_id] = 0
+
+    def on_detach(self, sim: "Simulator", now: float, app_id: int) -> None:
+        super().on_detach(sim, now, app_id)
+        # The engine already dropped the bypass flag from the caches;
+        # drop the classification state so a reused slot starts clean.
+        self.bypassed.discard(app_id)
+        self._evidence.pop(app_id, None)
+
     def on_window(
         self, sim: "Simulator", now: float, windows: dict[int, WindowSample]
     ) -> None:
@@ -81,18 +92,18 @@ class ModBypassController(DynCTAController):
         self._windows_seen += 1
         if self._windows_seen <= self.WARMUP_WINDOWS:
             return
-        for app in range(self.n_apps):
+        for app in self._live:
             l1_mr = windows[app].l1_miss_rate
             if app not in self.bypassed:
                 if l1_mr >= self.BYPASS_ON_L1MR:
-                    self._evidence[app] += 1
+                    self._evidence[app] = self._evidence.get(app, 0) + 1
                     if self._evidence[app] >= self.HYSTERESIS_WINDOWS:
                         self._flip(sim, now, app, bypass=True)
                 else:
                     self._evidence[app] = 0
             else:
                 if l1_mr <= self.BYPASS_OFF_L1MR:
-                    self._evidence[app] += 1
+                    self._evidence[app] = self._evidence.get(app, 0) + 1
                     if self._evidence[app] >= self.HYSTERESIS_WINDOWS:
                         self._flip(sim, now, app, bypass=False)
                 else:

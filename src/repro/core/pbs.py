@@ -291,6 +291,15 @@ class PBSController(BaseController):
         self.scale_mode = scale
         self.log = SearchLog()
         self.search_count = 0
+        #: live app ids in ascending order; position *i* of a search
+        #: combination maps to ``self._live[i]``.  Closed-system runs
+        #: keep this at ``range(n_apps)`` forever, so the mapping is the
+        #: identity there.
+        self._live: list[int] = list(range(n_apps))
+        #: settled combination per roster, so a roster that recurs
+        #: (an app departs and the survivors were seen before) resumes
+        #: its known-good combination instead of paying a full search
+        self._roster_settled: dict[tuple[int, ...], tuple[int, ...]] = {}
         self._scale: list[FractionOfPeak] | None = (
             list(scale) if isinstance(scale, (list, tuple)) else None
         )
@@ -306,20 +315,42 @@ class PBSController(BaseController):
     # --- lifecycle -----------------------------------------------------
 
     def start(self, sim: "Simulator", now: Cycles) -> None:
-        if self.scale_mode == "sampled" and self.metric in ("fi", "hs"):
-            self._scale = [0.0] * self.n_apps
-            self._scale_pending = list(range(self.n_apps))
-            self._apply_scale_probe(sim, self._scale_pending[0])
+        live = getattr(sim, "live_apps", None)
+        if live is not None:
+            self._live = list(live)
+            self.n_apps = len(self._live)
+        if self.n_apps < 2:
+            # An open-system run may begin with a lone application;
+            # searching starts when a co-runner arrives.
+            self._pin_lone(sim, now)
+        elif self.scale_mode == "sampled" and self.metric in ("fi", "hs"):
+            self._begin_scale_probes(sim)
         else:
             self._begin_search(sim, now)
         # Let caches warm before the first sample is trusted: cold-start
         # windows would mislead the criticality sweep.
         self._skip += self.warmup_windows
 
-    def _apply_scale_probe(self, sim: "Simulator", app: int) -> None:
-        """Run ``app`` at the reference TLP with co-runners at TLP 1."""
-        for a in range(self.n_apps):
-            sim.set_tlp(a, self.SCALE_REFERENCE_TLP if a == app else 1)
+    def _begin_scale_probes(self, sim: "Simulator") -> None:
+        self._scale = [0.0] * self.n_apps
+        self._scale_pending = list(range(self.n_apps))
+        self._apply_scale_probe(sim, self._scale_pending[0])
+
+    def _apply_scale_probe(self, sim: "Simulator", pos: int) -> None:
+        """Run position ``pos`` at the reference TLP, co-runners at 1."""
+        for i, a in enumerate(self._live):
+            sim.set_tlp(a, self.SCALE_REFERENCE_TLP if i == pos else 1)
+        self._skip = self.SETTLE_WINDOWS
+        self._acc = []
+
+    def _pin_lone(self, sim: "Simulator", now: Cycles) -> None:
+        """Roster has a single application: give it maxTLP, no search."""
+        self._search = None
+        self._settled = True
+        self._settled_obj = None
+        lone = self._live[0]
+        self.note_decision("pin", now, app=lone, tlp=self.levels[-1])
+        self.actuate(sim, lone, self.levels[-1])
         self._skip = self.SETTLE_WINDOWS
         self._acc = []
 
@@ -353,10 +384,64 @@ class PBSController(BaseController):
         self._actuate_combo(sim, first_combo)
 
     def _actuate_combo(self, sim: "Simulator", combo: tuple[int, ...]) -> None:
-        for app, tlp in enumerate(combo):
-            self.actuate(sim, app, tlp)
+        for pos, tlp in enumerate(combo):
+            self.actuate(sim, self._live[pos], tlp)
         self._skip = self.SETTLE_WINDOWS
         self._acc = []
+
+    # --- tenancy hooks ---------------------------------------------------
+
+    def on_attach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        if app_id not in self._live:
+            self._live.append(app_id)
+            self._live.sort()
+        self.note_decision("attach", now, app=app_id)
+        self._roster_changed(sim, now, "attach")
+
+    def on_detach(self, sim: "Simulator", now: Cycles, app_id: int) -> None:
+        if app_id in self._live:
+            self._live.remove(app_id)
+        self.note_decision("detach", now, app=app_id)
+        self._roster_changed(sim, now, "detach")
+
+    def _roster_changed(self, sim: "Simulator", now: Cycles, reason: str) -> None:
+        """Re-enter the search (or resume settled state) for a new roster.
+
+        Any in-progress search or scale probing is abandoned — its
+        combinations indexed the old roster.  Sampled scale factors are
+        roster-shaped, so they are discarded and re-probed.  A roster
+        seen (and settled) before resumes its remembered combination
+        without searching again.
+        """
+        self.n_apps = len(self._live)
+        self._scale_pending = []
+        self._acc = []
+        self._drift = 0
+        self._settled_obj = None
+        if self.scale_mode == "sampled":
+            self._scale = None
+        if self.n_apps < 2:
+            self._pin_lone(sim, now)
+            return
+        key = tuple(self._live)
+        known = self._roster_settled.get(key)
+        if known is not None:
+            self.note_decision(
+                "resettle", now, roster=list(key), combo=list(known)
+            )
+            self._search = None
+            self._settled = True
+            self._actuate_combo(sim, known)
+            return
+        self.note_decision(
+            "research", now, search=self.search_count + 1, reason=reason
+        )
+        if self.scale_mode == "sampled" and self.metric in ("fi", "hs"):
+            self._search = None
+            self._settled = False
+            self._begin_scale_probes(sim)
+        else:
+            self._begin_search(sim, now)
 
     # --- per-window ------------------------------------------------------
 
@@ -364,7 +449,7 @@ class PBSController(BaseController):
         self, windows: dict[int, WindowSample]
     ) -> dict[int, FractionOfPeak] | None:
         """Accumulate measure windows; return their mean when complete."""
-        self._acc.append({a: windows[a].eb for a in range(self.n_apps)})
+        self._acc.append({i: windows[a].eb for i, a in enumerate(self._live)})
         if len(self._acc) < self.MEASURE_WINDOWS:
             return None
         mean = {
@@ -389,7 +474,7 @@ class PBSController(BaseController):
             if ebs is None:
                 return
         else:
-            ebs = {a: windows[a].eb for a in range(self.n_apps)}
+            ebs = {i: windows[a].eb for i, a in enumerate(self._live)}
 
         if self._scale_pending:
             app = self._scale_pending.pop(0)
@@ -416,6 +501,7 @@ class PBSController(BaseController):
                 )
                 self._actuate_combo(sim, final)
                 self._settled = True
+                self._roster_settled[tuple(self._live)] = final
                 return
             self._sync_search_log(now)
             self._actuate_combo(sim, combo)
@@ -433,6 +519,7 @@ class PBSController(BaseController):
             if (
                 self._drift >= self.DRIFT_PATIENCE
                 and self.search_count <= self.MAX_RESEARCHES
+                and self.n_apps >= 2
             ):
                 self.note_decision(
                     "research", now, search=self.search_count + 1

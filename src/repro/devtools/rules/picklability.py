@@ -9,8 +9,14 @@ Linux where the tests run.  This rule rejects the failure statically:
 
 * the worker argument of ``run_jobs(...)`` / ``pool.submit(...)`` must
   be a module-level function (not a lambda, not a nested ``def``);
-* ``SimJob(...)`` construction must not embed lambdas in any field
-  (e.g. a callable tag or progress hook smuggled into a spec).
+* ``SimJob(...)`` / ``OpenSimJob(...)`` construction must not embed
+  lambdas in any field (e.g. a callable tag or progress hook smuggled
+  into a spec);
+* the factory registered with ``register_policy(name, factory)`` must
+  be module-level: ``OpenSimJob`` carries policies *by name* and the
+  worker rebuilds them from the registry, so a lambda or nested-def
+  factory would resurrect the exact failure the name indirection
+  exists to avoid.
 """
 
 from __future__ import annotations
@@ -28,7 +34,10 @@ __all__ = ["PicklabilityRule"]
 _POOL_ENTRY_POINTS = frozenset({"run_jobs", "submit"})
 
 #: Spec classes shipped to workers whole.
-_SPEC_CLASSES = frozenset({"SimJob"})
+_SPEC_CLASSES = frozenset({"SimJob", "OpenSimJob"})
+
+#: Registration calls whose factory argument must be module-level.
+_POLICY_REGISTRARS = frozenset({"register_policy"})
 
 
 def _callee_name(func: ast.expr) -> str | None:
@@ -95,3 +104,28 @@ class PicklabilityRule(LintRule):
                             f"lambda embedded in {name}(...) field; specs "
                             "are pickled whole — pass data, not closures",
                         )
+            elif name in _POLICY_REGISTRARS:
+                factory = None
+                if len(node.args) >= 2:
+                    factory = node.args[1]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "factory":
+                            factory = kw.value
+                if isinstance(factory, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        factory,
+                        f"lambda registered as a policy factory via {name}(); "
+                        "job specs carry policies by name and workers rebuild "
+                        "them from the registry, so factories must be "
+                        "module-level functions",
+                    )
+                elif isinstance(factory, ast.Name) and factory.id in nested:
+                    yield self.finding(
+                        ctx,
+                        factory,
+                        f"'{factory.id}' is defined inside a function; policy "
+                        "factories are resolved by qualified name in pool "
+                        "workers and must be module-level",
+                    )

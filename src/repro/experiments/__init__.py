@@ -8,5 +8,18 @@ re-run cheaply.
 """
 
 from repro.experiments.common import ExperimentContext, ResultStore
+from repro.experiments.open_system import (
+    SCENARIOS,
+    OpenRunReport,
+    OpenScenario,
+    run_open_scenario,
+)
 
-__all__ = ["ExperimentContext", "ResultStore"]
+__all__ = [
+    "ExperimentContext",
+    "ResultStore",
+    "OpenScenario",
+    "OpenRunReport",
+    "SCENARIOS",
+    "run_open_scenario",
+]

@@ -62,7 +62,11 @@ DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
 #:
 #: v3: ``SchemeResult.decisions`` round-trips (the controllers'
 #: structured decision logs, consumed by the trace/summarize tooling).
-CACHE_FORMAT = 3
+#:
+#: v4: ``SimResult.roster`` round-trips (open-system tenancy timelines;
+#: the key is omitted entirely for closed-system results, whose payloads
+#: are byte-identical to v3).
+CACHE_FORMAT = 4
 
 #: Algorithm-version salts folded into scheme cache keys.  Bump a
 #: family's version when its controller/search logic changes so stale
@@ -108,6 +112,9 @@ def _result_to_dict(result: SimResult) -> dict:
         ],
         "final_tlp": {str(a): t for a, t in result.final_tlp.items()},
         "dram_utilization": result.dram_utilization,
+        # Closed-system results have an empty roster timeline; omitting
+        # the key keeps their payloads (and the golden fixtures) stable.
+        **({"roster": result.roster} if result.roster else {}),
     }
 
 
@@ -122,6 +129,7 @@ def _result_from_dict(data: dict) -> SimResult:
         ],
         final_tlp={int(a): t for a, t in data["final_tlp"].items()},
         dram_utilization=data["dram_utilization"],
+        roster=data.get("roster", []),
     )
 
 

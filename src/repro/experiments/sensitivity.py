@@ -96,7 +96,10 @@ def run_core_split(
 ) -> CoreSplitResult:
     apps = ctx.pair_apps(*pair_names)
     n = ctx.config.n_cores
-    candidates = [(n // 4, 3 * n // 4), (n // 2, n // 2), (3 * n // 4, n // 4)]
+    # Quarter / even / three-quarter splits; the second app takes the
+    # remainder so every split sums to n (the engine rejects idle cores).
+    candidates = [(n // 4, n - n // 4), (n // 2, n - n // 2),
+                  (3 * n // 4, n - 3 * n // 4)]
     splits = sorted({s for s in candidates if s[0] >= 1 and s[1] >= 1})
     ws: dict[tuple[int, int], dict[str, float]] = {}
     for split in splits:

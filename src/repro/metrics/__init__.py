@@ -17,6 +17,12 @@ from repro.metrics.slowdown import (
     slowdown,
     weighted_speedup,
 )
+from repro.metrics.tenancy import (
+    time_weighted_fi,
+    time_weighted_hs,
+    time_weighted_objective,
+    time_weighted_ws,
+)
 
 __all__ = [
     "EPS",
@@ -32,4 +38,8 @@ __all__ = [
     "eb_hs",
     "eb_objective",
     "alone_ratio",
+    "time_weighted_objective",
+    "time_weighted_ws",
+    "time_weighted_fi",
+    "time_weighted_hs",
 ]

@@ -1,0 +1,74 @@
+"""System metrics over a churning roster: time-weighted WS / FI / HS.
+
+The paper's WS, FI and HS (Table III) assume a fixed roster for the
+whole measured region.  In an open-system run the roster changes, so a
+single slowdown vector does not exist — but between any two roster
+changes (an *epoch*) it does.  The natural extension evaluates the
+closed-form metric inside each epoch and averages across epochs
+weighted by their duration:
+
+    M_tw = sum_e (T_e * M(SD_e)) / sum_e T_e
+
+For a static roster there is one epoch, the weight cancels, and every
+time-weighted metric reduces *exactly* to its closed form — a property
+the test suite pins down.
+
+This module is pure arithmetic over ``(duration, slowdowns)`` pairs;
+assembling epochs from a simulation's window log and roster timeline is
+the experiment layer's job (:mod:`repro.experiments.open_system`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.metrics.slowdown import sd_objective
+from repro.units import Fraction
+
+__all__ = [
+    "time_weighted_objective",
+    "time_weighted_ws",
+    "time_weighted_fi",
+    "time_weighted_hs",
+]
+
+#: one epoch: (duration in cycles, per-app slowdowns of the apps live then)
+Epoch = tuple[float, Sequence[Fraction]]
+
+
+def time_weighted_objective(kind: str, epochs: Sequence[Epoch]) -> Fraction:
+    """Duration-weighted mean of ``sd_objective(kind, ...)`` over epochs.
+
+    Each epoch spans a constant roster; its slowdown vector may have a
+    different length than its neighbours'.  A single epoch returns the
+    closed-form metric exactly (no float round-trip through the
+    weighting).
+    """
+    if not epochs:
+        raise ValueError("need at least one epoch")
+    for duration, _sds in epochs:
+        if duration <= 0:
+            raise ValueError("epoch durations must be positive")
+    if len(epochs) == 1:
+        _duration, sds = epochs[0]
+        return sd_objective(kind, list(sds))
+    total = float(sum(duration for duration, _ in epochs))
+    return (
+        sum(duration * sd_objective(kind, list(sds)) for duration, sds in epochs)
+        / total
+    )
+
+
+def time_weighted_ws(epochs: Sequence[Epoch]) -> Fraction:
+    """Time-weighted Weighted Speedup over a churning roster."""
+    return time_weighted_objective("ws", epochs)
+
+
+def time_weighted_fi(epochs: Sequence[Epoch]) -> Fraction:
+    """Time-weighted Fairness Index over a churning roster."""
+    return time_weighted_objective("fi", epochs)
+
+
+def time_weighted_hs(epochs: Sequence[Epoch]) -> Fraction:
+    """Time-weighted Harmonic Speedup over a churning roster."""
+    return time_weighted_objective("hs", epochs)

@@ -44,6 +44,7 @@ class LiveState:
         self.batches = 0
         self.window_count = 0
         self.decision_count = 0
+        self.tenancy_count = 0
         self.profile_count = 0
         self.ended = False
         #: pid -> job name currently executing there
@@ -54,6 +55,8 @@ class LiveState:
         self.latest_window: dict[tuple[str, str, int], dict] = {}
         #: most recent decision record, if any
         self.last_decision: dict | None = None
+        #: most recent tenancy (roster-change) record, if any
+        self.last_tenancy: dict | None = None
         self.last_error = ""
         self._t_first_done: float | None = None
         self._t_last_done: float | None = None
@@ -95,6 +98,9 @@ class LiveState:
         elif rtype == "decision":
             self.decision_count += 1
             self.last_decision = record
+        elif rtype == "tenancy":
+            self.tenancy_count += 1
+            self.last_tenancy = record
         elif rtype == "profile":
             self.profile_count += 1
         elif rtype == "stream_end":
@@ -158,6 +164,13 @@ def render_lines(state: LiveState) -> list[str]:
         d = state.last_decision
         tail += f"  last {d['scheme']}.{d['kind']} @{d['cycle']:.0f}"
     lines.append(tail)
+    if state.last_tenancy is not None:
+        t = state.last_tenancy
+        roster = ",".join(str(a) for a in t.get("roster", []))
+        lines.append(
+            f"  tenancy x{state.tenancy_count}: {t['event']} app{t['app']}"
+            f" @{t['cycle']:.0f}  roster [{roster}]"
+        )
     if state.last_error:
         lines.append(f"  FAIL {state.last_error:.100s}")
     return lines

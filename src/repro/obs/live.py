@@ -7,7 +7,8 @@ is happening" while a sweep is still going.  The pipeline:
 * **Workers publish.**  A :class:`QueuePublisher` installed in each pool
   worker (by :func:`repro.exec.pool`'s initializer) pushes small JSON
   records — job lifecycle, per-window EB/BW/CMR/IPC counters, controller
-  decisions, profiling frames, metrics snapshots, heartbeats — onto a
+  decisions, open-system tenancy changes, profiling frames, metrics
+  snapshots, heartbeats — onto a
   ``multiprocessing`` queue.  Publishing never blocks simulation: a full
   queue drops the record and counts the drop.
 * **The parent collects.**  A :class:`LiveHub` owns the queue, drains it
@@ -86,6 +87,12 @@ _RECORD_FIELDS: dict[str, dict[str, type | tuple[type, ...]]] = {
     # one controller decision (cycle-stamped)
     "decision": {
         "workload": str, "scheme": str, "kind": str, "cycle": (int, float),
+    },
+    # one roster change of an open-system run (cycle-stamped); carries
+    # the post-change roster so consumers need no event replay
+    "tenancy": {
+        "workload": str, "scheme": str, "event": str, "app": int,
+        "cycle": (int, float), "roster": list,
     },
     # liveness signal, throttled to the publisher's heartbeat interval
     "heartbeat": {"pid": int},
@@ -352,6 +359,21 @@ def result_records(
             "scheme": scheme,
             "kind": str(d.get("kind", "?")),
             "cycle": float(d.get("cycle", 0.0)),
+            # A roster-change research carries why it restarted; the
+            # dashboard distinguishes it from drift re-searches.
+            **({"reason": str(d["reason"])} if "reason" in d else {}),
+        })
+    for rec in getattr(result, "roster", None) or ():
+        records.append({
+            "type": "tenancy",
+            "workload": workload,
+            "scheme": scheme,
+            "event": str(rec.get("event", "?")),
+            "app": int(rec.get("app", -1)),
+            "cycle": float(rec.get("cycle", 0.0)),
+            "roster": list(rec.get("roster", [])),
+            "abbr": str(rec.get("abbr", "?")),
+            "cores": list(rec.get("cores", [])),
         })
     return records
 

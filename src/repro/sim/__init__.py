@@ -22,6 +22,7 @@ from repro.sim.probes import (
     attach,
 )
 from repro.sim.stats import AppStats, StatsCollector, WindowSample
+from repro.sim.tenancy import Tenancy, TenancyEvent, split_cores
 
 __all__ = [
     "AddressMap",
@@ -40,4 +41,7 @@ __all__ = [
     "OccupancyProbe",
     "attach",
     "set_engine_profiling",
+    "Tenancy",
+    "TenancyEvent",
+    "split_cores",
 ]

@@ -8,8 +8,14 @@ DRAM channels together and drives every warp's closed loop:
 
 Multi-application execution follows the paper's methodology (§II): each
 application is mapped to an exclusive set of cores (equal split by
-default) and shares everything beyond the cores — L2 slices, the
-crossbar, and DRAM bandwidth.  All statistics are kept per application.
+default, remainder to the first apps) and shares everything beyond the
+cores — L2 slices, the crossbar, and DRAM bandwidth.  All statistics are
+kept per application.  The roster itself is owned by a
+:class:`~repro.sim.tenancy.Tenancy` manager: an open-system run passes
+``arrivals`` (a schedule of :class:`~repro.sim.tenancy.TenancyEvent`\\ s)
+and applications attach/detach mid-run with deterministic
+drain-and-rebind core reassignment; without arrivals the roster is
+frozen and behavior is bit-identical to the closed-system engine.
 
 A TLP controller (see :mod:`repro.core.controller`) can be attached; it
 is invoked every ``sample_period`` cycles with per-application window
@@ -58,6 +64,7 @@ from repro.sim.core import Core, Warp
 from repro.sim.dram import DRAMChannel, DRAMRequest
 from repro.sim.interconnect import Crossbar
 from repro.sim.stats import StatsCollector, WindowSample
+from repro.sim.tenancy import Tenancy, TenancyEvent, split_cores
 from repro.units import (
     Cycles,
     Fraction,
@@ -345,7 +352,9 @@ class SimResult:
 
     ``samples`` covers the measured region (post-warmup); ``windows``
     logs every controller sampling window; ``tlp_timeline`` records each
-    (time, app_id, tlp) actuation.
+    (time, app_id, tlp) actuation.  ``roster`` is the tenancy timeline —
+    one JSON-native record per mid-run attach/detach (empty for a
+    closed-system run, where the roster never changes).
     """
 
     samples: dict[int, WindowSample]
@@ -354,6 +363,7 @@ class SimResult:
     windows: list[tuple[Cycles, dict[int, WindowSample]]] = field(default_factory=list)
     final_tlp: dict[int, int] = field(default_factory=dict)
     dram_utilization: Fraction = 0.0
+    roster: list[dict] = field(default_factory=list)
 
     def ipc(self, app_id: int) -> Ipc:
         return self.samples[app_id].ipc
@@ -385,7 +395,7 @@ class Simulator:
         "_l1_hit_latency", "_l2_hit_latency", "_dram_cb", "_dram_drain_cb",
         "_busy_at_measurement", "_txn_pool", "_req_pool", "_interleave",
         "_n_channels", "_row_bytes", "_banks_per_channel", "_prof",
-        "_prof_hw",
+        "_prof_hw", "tenancy", "_arrivals", "_detached_apps",
     )
 
     def __init__(
@@ -396,6 +406,7 @@ class Simulator:
         controller: "TLPController | None" = None,
         seed: int | None = None,
         l2_way_quota: dict[int, int] | None = None,
+        arrivals: "tuple[TenancyEvent, ...] | None" = None,
     ) -> None:
         if not apps:
             raise ValueError("need at least one application")
@@ -409,14 +420,23 @@ class Simulator:
         self.crossbar = Crossbar(config)
 
         if core_split is None:
-            per_app = config.n_cores // len(apps)
-            if per_app < 1:
-                raise ValueError("more applications than cores")
-            core_split = tuple(per_app for _ in apps)
+            core_split = split_cores(config.n_cores, len(apps))
+        else:
+            core_split = tuple(core_split)
         if sum(core_split) > config.n_cores:
             raise ValueError(f"core split {core_split} exceeds {config.n_cores} cores")
         if len(core_split) != len(apps):
             raise ValueError("core_split length must match number of apps")
+        if len(apps) >= 2 and sum(core_split) < config.n_cores:
+            # A multi-app split that strands cores is a silent throughput
+            # bug (satellite of the open-system refactor).  Single-app
+            # under-allocation stays legal: alone profiling deliberately
+            # runs one app on the co-run core count (paper §II).
+            raise ValueError(
+                f"core split {core_split} under-allocates "
+                f"{config.n_cores} cores; distribute every core "
+                "(the default split does this automatically)"
+            )
         self.core_split = core_split
 
         # Cores, private L1s and per-core MSHRs.
@@ -516,33 +536,62 @@ class Simulator:
         )
         self._prof_hw = [0, 0, 0]
 
-        # Populate warp contexts; warps of one core share a sequential
-        # cursor so adjacent warps touch adjacent lines (row locality).
-        # Each warp owns its two recurring transactions.
-        for app_id, profile in enumerate(self.apps):
+        # Populate warp contexts per core (see _populate_core).
+        for app_id in range(len(self.apps)):
             for core in self.cores_of_app[app_id]:
-                core_stream = profile.make_core_stream(
-                    app_id, core.core_id, self.addr_map
-                )
-                for w in range(config.max_warps_per_core):
-                    stream = profile.make_stream(
-                        app_id=app_id,
-                        core_id=core.core_id,
-                        warp_id=w,
-                        seed=self.seed,
-                        addr_map=self.addr_map,
-                        core_stream=core_stream,
-                    )
-                    warp = core.add_warp(stream)
-                    warp.compute_txn = MemTxn(_COMPUTE_DONE, core, warp)
-                    warp.resp_txn = MemTxn(_WARP_RESP, core, warp)
+                self._populate_core(core, app_id)
+
+        # Tenancy: the live roster and its attach/detach lifecycle.
+        # ``arrivals`` is the open-system schedule; without one, the
+        # roster is frozen and the simulator behaves exactly as before.
+        self.tenancy = Tenancy(self)
+        self._arrivals: tuple[TenancyEvent, ...] = tuple(arrivals or ())
+        self._detached_apps: set[int] = set()
+
+    @property
+    def live_apps(self) -> list[int]:
+        """Ascending ids of the currently attached applications."""
+        return list(self.tenancy.live)
+
+    def _populate_core(self, core: Core, app_id: int) -> None:
+        """Create ``app_id``'s warp contexts on ``core``.
+
+        Warps of one core share a sequential cursor so adjacent warps
+        touch adjacent lines (row locality); each warp owns its two
+        recurring transactions.  Called at construction and again by
+        :class:`~repro.sim.tenancy.Tenancy` when a rebind hands the
+        core to a different application.
+        """
+        profile = self.apps[app_id]
+        core_stream = profile.make_core_stream(
+            app_id, core.core_id, self.addr_map
+        )
+        for w in range(self.config.max_warps_per_core):
+            stream = profile.make_stream(
+                app_id=app_id,
+                core_id=core.core_id,
+                warp_id=w,
+                seed=self.seed,
+                addr_map=self.addr_map,
+                core_stream=core_stream,
+            )
+            warp = core.add_warp(stream)
+            warp.compute_txn = MemTxn(_COMPUTE_DONE, core, warp)
+            warp.resp_txn = MemTxn(_WARP_RESP, core, warp)
 
     # ------------------------------------------------------------------
     # TLP actuation
     # ------------------------------------------------------------------
 
     def set_tlp(self, app_id: int, tlp: int) -> None:
-        """Set application ``app_id``'s warp limit on all of its cores."""
+        """Set application ``app_id``'s warp limit on all of its cores.
+
+        A delayed actuation landing after its application detached is a
+        no-op: stale controller events must not resurrect a departed
+        app's TLP entry or touch its reassigned cores.
+        """
+        if app_id in self._detached_apps:
+            return
         tlp = max(1, min(tlp, self.config.max_tlp))
         now = self.events.now
         self.current_tlp[app_id] = tlp
@@ -553,6 +602,8 @@ class Simulator:
 
     def set_l1_bypass(self, app_id: int, bypass: bool) -> None:
         """Enable/disable L1 fill bypassing for an application."""
+        if app_id in self._detached_apps:
+            return
         for core in self.cores_of_app[app_id]:
             l1 = self.l1s[core.core_id]
             if bypass:
@@ -562,6 +613,8 @@ class Simulator:
 
     def set_l2_bypass(self, app_id: int, bypass: bool) -> None:
         """Enable/disable L2 fill bypassing for an application."""
+        if app_id in self._detached_apps:
+            return
         for l2 in self.l2s:
             if bypass:
                 l2.bypass_apps.add(app_id)
@@ -1271,6 +1324,11 @@ class Simulator:
 
         self.events.push(float(warmup), self._begin_measurement)
 
+        for ev in self._arrivals:
+            if ev.cycle >= max_cycles:
+                continue
+            self.events.push(float(ev.cycle), partial(self._tenancy_event, ev))
+
         if self.controller is not None:
             self.controller.start(self, 0.0)
             self._schedule_controller_window(self.controller.sample_period)
@@ -1294,7 +1352,17 @@ class Simulator:
             windows=list(self.window_log),
             final_tlp=dict(self.current_tlp),
             dram_utilization=busy / (measured * len(self.channels)),
+            roster=list(self.tenancy.timeline),
         )
+
+    def _tenancy_event(self, ev: TenancyEvent, now: Cycles) -> None:
+        """Apply one scheduled roster change (the arrival-event handler)."""
+        if ev.action == "attach":
+            assert ev.profile is not None
+            self.tenancy.attach(ev.profile, now)
+        else:
+            assert ev.app_id is not None
+            self.tenancy.detach(ev.app_id, now)
 
     def _begin_measurement(self, now: Cycles) -> None:
         """End of warmup: snapshot counters and per-channel busy cycles
@@ -1351,7 +1419,10 @@ class Simulator:
         assert self.controller is not None
         if self._prof is not None:
             self._sample_profiling()
-        windows = self.collector.cut_window(now)
-        self.window_log.append((now, windows))
-        self.controller.on_window(self, now, windows)
+        # A tenancy event at this exact cycle already sealed the window;
+        # skip the zero-cycle cut but keep the window cadence.
+        if now > self.collector.window_start:
+            windows = self.collector.cut_window(now)
+            self.window_log.append((now, windows))
+            self.controller.on_window(self, now, windows)
         self._schedule_controller_window(now + self.controller.sample_period)

@@ -134,6 +134,24 @@ class StatsCollector:
         self._measure_base: dict[int, AppStats] = {a: AppStats() for a in app_ids}
         self._measure_start: Cycles = 0.0
 
+    @property
+    def window_start(self) -> Cycles:
+        """Cycle of the last window cut (tenancy seals check this)."""
+        return self._window_start
+
+    def add_app(self, app_id: int) -> None:
+        """Open a fresh stats stream for an application attaching mid-run.
+
+        Window and measurement bases start at zero, so an arrival's
+        first window/measurement delta covers exactly what it did since
+        attaching — nothing is inherited, nothing double-counted.
+        """
+        if app_id in self.apps:
+            raise ValueError(f"app {app_id} already has a stats stream")
+        self.apps[app_id] = AppStats()
+        self._window_base[app_id] = AppStats()
+        self._measure_base[app_id] = AppStats()
+
     # --- event hooks -------------------------------------------------------
 
     def note_insts(self, app_id: int, n: Insts) -> None:

@@ -8,6 +8,7 @@ per-warp footprint, temporal reuse, spatial/row locality, and inter-warp
 sharing — which is the only thing the paper's mechanisms observe.
 """
 
+from repro.workloads.arrivals import ArrivalSchedule
 from repro.workloads.generator import (
     EVALUATED_PAIRS,
     REPRESENTATIVE_PAIRS,
@@ -22,6 +23,7 @@ from repro.workloads.trace import Trace, TraceProfile, TraceStream, record_trace
 
 __all__ = [
     "AppProfile",
+    "ArrivalSchedule",
     "WarpAddressStream",
     "CoreStream",
     "APPLICATIONS",

@@ -1,0 +1,136 @@
+"""Open-system arrival model: who runs when.
+
+The paper evaluates *closed* 2-app co-runs — the roster is fixed for the
+whole simulation.  A production GPU is an *open* system: jobs arrive,
+execute for a while, and depart.  An :class:`ArrivalSchedule` captures
+one such run as data — the initial roster plus a time-ordered tuple of
+:class:`~repro.sim.tenancy.TenancyEvent` roster changes — which the
+engine replays at cycle boundaries.
+
+Two constructors cover the methodology:
+
+* :meth:`ArrivalSchedule.closed` — no events; byte-for-byte the
+  behavior of today's fixed-roster runs.
+* :meth:`ArrivalSchedule.seeded` — a reproducible stochastic trace:
+  exponential interarrival and lifetime draws from a seeded RNG, with
+  capacity (``max_live``) and occupancy (``min_live``) guards.  The same
+  seed always yields the same trace, so open-system experiments cache
+  and compare like closed ones.
+
+App-id bookkeeping mirrors the engine: initial applications get ids
+``0..n-1`` and the k-th arrival gets ``n + k`` (monotonic, never
+reused), so a schedule can name departing apps deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.tenancy import TenancyEvent
+from repro.workloads.synthetic import AppProfile
+
+__all__ = ["ArrivalSchedule"]
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """One open-system run: initial roster plus scheduled roster changes."""
+
+    initial: tuple[AppProfile, ...]
+    events: tuple[TenancyEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.initial:
+            raise ValueError("schedule needs at least one initial application")
+        cycles = [ev.cycle for ev in self.events]
+        if cycles != sorted(cycles):
+            raise ValueError("tenancy events must be in non-decreasing cycle order")
+
+    @property
+    def is_closed(self) -> bool:
+        return not self.events
+
+    @classmethod
+    def closed(cls, apps: Sequence[AppProfile]) -> "ArrivalSchedule":
+        """A fixed-roster run — exactly today's closed-system behavior."""
+        return cls(initial=tuple(apps), events=())
+
+    @classmethod
+    def seeded(
+        cls,
+        initial: Sequence[AppProfile],
+        candidates: Sequence[AppProfile],
+        *,
+        max_cycles: int,
+        seed: int,
+        mean_interarrival: float,
+        mean_lifetime: float,
+        max_live: int,
+        min_live: int = 1,
+    ) -> "ArrivalSchedule":
+        """A reproducible stochastic arrival/departure trace.
+
+        Arrivals are a Poisson process (exponential interarrivals drawn
+        from ``random.Random(seed)``); every application — initial ones
+        included — draws an exponential lifetime.  An arrival is dropped
+        when the roster is at ``max_live``; a departure is deferred one
+        lifetime draw when it would push the roster below ``min_live``.
+        Arriving profiles rotate through ``candidates`` by app id, so
+        the mix is seed-independent given the same id sequence.
+        """
+        if not candidates:
+            raise ValueError("need at least one candidate profile for arrivals")
+        if not 1 <= min_live <= max_live:
+            raise ValueError("need 1 <= min_live <= max_live")
+        if len(initial) > max_live:
+            raise ValueError("initial roster exceeds max_live")
+        if mean_interarrival <= 0 or mean_lifetime <= 0:
+            raise ValueError("mean interarrival and lifetime must be positive")
+        rng = random.Random(seed)
+        initial = tuple(initial)
+        live: set[int] = set(range(len(initial)))
+        #: (departure_cycle, app_id) min-heap
+        departures: list[tuple[int, int]] = []
+        for app_id in live:
+            t = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+            heapq.heappush(departures, (t, app_id))
+        next_id = len(initial)
+        next_arrival = max(1, int(rng.expovariate(1.0 / mean_interarrival)))
+        events: list[TenancyEvent] = []
+        while True:
+            due = departures[0][0] if departures else max_cycles
+            t = min(next_arrival, due)
+            if t >= max_cycles:
+                break
+            # Departures first at equal time: frees a slot the arrival
+            # can use, and the engine forbids detaching the last app.
+            if departures and due <= next_arrival:
+                cycle, app_id = heapq.heappop(departures)
+                if len(live) <= min_live:
+                    # Too few tenants to leave now — extend its stay.
+                    stay = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+                    heapq.heappush(departures, (cycle + stay, app_id))
+                    continue
+                live.discard(app_id)
+                events.append(
+                    TenancyEvent(cycle=cycle, action="detach", app_id=app_id)
+                )
+                continue
+            cycle = next_arrival
+            next_arrival = cycle + max(
+                1, int(rng.expovariate(1.0 / mean_interarrival))
+            )
+            if len(live) >= max_live:
+                continue  # at capacity: this arrival is turned away
+            profile = candidates[next_id % len(candidates)]
+            lifetime = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
+            events.append(
+                TenancyEvent(cycle=cycle, action="attach", profile=profile)
+            )
+            live.add(next_id)
+            heapq.heappush(departures, (cycle + lifetime, next_id))
+            next_id += 1
+        return cls(initial=initial, events=tuple(events))

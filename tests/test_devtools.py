@@ -387,6 +387,53 @@ class TestR005Picklability:
         )
         assert lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"]) == []
 
+    def test_lambda_in_opensimjob_field_flagged(self, tmp_path):
+        src = (
+            "from repro.exec import OpenSimJob\n"
+            "j = OpenSimJob(tag=lambda: 'x')\n"
+        )
+        findings = lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"])
+        assert rules_of(findings) == {"R005"}
+        assert "pass data, not closures" in findings[0].message
+
+    def test_lambda_policy_factory_flagged(self, tmp_path):
+        src = (
+            "from repro.core.policy import register_policy\n"
+            "register_policy('mine', lambda n_apps=2: None)\n"
+        )
+        findings = lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"])
+        assert rules_of(findings) == {"R005"}
+        assert "module-level" in findings[0].message
+
+    def test_lambda_policy_factory_keyword_flagged(self, tmp_path):
+        src = (
+            "from repro.core.policy import register_policy\n"
+            "register_policy('mine', factory=lambda n_apps=2: None)\n"
+        )
+        findings = lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"])
+        assert rules_of(findings) == {"R005"}
+
+    def test_nested_policy_factory_flagged(self, tmp_path):
+        src = (
+            "from repro.core.policy import register_policy\n"
+            "def install():\n"
+            "    def make_mine(n_apps=2):\n"
+            "        return None\n"
+            "    register_policy('mine', make_mine)\n"
+        )
+        findings = lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"])
+        assert rules_of(findings) == {"R005"}
+        assert "qualified name" in findings[0].message
+
+    def test_module_level_policy_factory_clean(self, tmp_path):
+        src = (
+            "from repro.core.policy import register_policy\n"
+            "def make_mine(n_apps=2):\n"
+            "    return None\n"
+            "register_policy('mine', make_mine)\n"
+        )
+        assert lint_tree(tmp_path, {"src/repro/foo.py": src}, select=["R005"]) == []
+
 
 # --- R006 atomic write --------------------------------------------------------
 

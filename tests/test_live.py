@@ -98,6 +98,8 @@ def _valid_records() -> list[dict]:
          "ipc": 1.5},
         {"type": "decision", "workload": "BLK_TRD", "scheme": "pbs-ws",
          "kind": "sample", "cycle": 800.0},
+        {"type": "tenancy", "workload": "two-phase", "scheme": "pbs-ws",
+         "event": "attach", "app": 2, "cycle": 29500.0, "roster": [0, 1, 2]},
         {"type": "heartbeat", "pid": 11},
         {"type": "profile", "job": "alone BLK 8", "pid": 11,
          "frames": [["run (engine.py:1)", 0.5, 0.1, 42]]},

@@ -23,6 +23,12 @@ from repro.metrics.slowdown import (
     slowdown,
     weighted_speedup,
 )
+from repro.metrics.tenancy import (
+    time_weighted_fi,
+    time_weighted_hs,
+    time_weighted_objective,
+    time_weighted_ws,
+)
 
 POS = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
 
@@ -194,3 +200,77 @@ class TestAloneRatio:
     @settings(max_examples=100)
     def test_always_ge_one(self, a, b):
         assert alone_ratio(a, b) >= 1.0
+
+
+class TestTimeWeightedObjectives:
+    """Time-weighted WS/FI/HS over roster epochs (repro.metrics.tenancy)."""
+
+    KINDS = ("ws", "fi", "hs")
+
+    @given(st.floats(min_value=1.0, max_value=1e6), st.lists(POS, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_single_epoch_reduces_to_closed_form(self, duration, sds):
+        # A static roster has one epoch; the weight must cancel EXACTLY
+        # (no float round-trip), so closed-system results are unchanged.
+        for kind in self.KINDS:
+            assert time_weighted_objective(kind, [(duration, sds)]) == (
+                sd_objective(kind, sds)
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e5),
+                st.lists(POS, min_size=1, max_size=3),
+            ),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_is_the_duration_weighted_mean(self, epochs):
+        total = sum(d for d, _ in epochs)
+        for kind in self.KINDS:
+            expected = (
+                sum(d * sd_objective(kind, sds) for d, sds in epochs) / total
+            )
+            assert time_weighted_objective(kind, epochs) == pytest.approx(
+                expected
+            )
+
+    @given(st.lists(POS, min_size=2, max_size=4), st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_permutation_invariance_within_epochs(self, sds, rng):
+        shuffled = list(sds)
+        rng.shuffle(shuffled)
+        epochs_a = [(100.0, sds), (250.0, list(reversed(sds)))]
+        epochs_b = [(100.0, shuffled), (250.0, sds)]
+        for kind in self.KINDS:
+            assert time_weighted_objective(
+                kind, epochs_a
+            ) == pytest.approx(time_weighted_objective(kind, epochs_b))
+
+    def test_wrappers_dispatch(self):
+        epochs = [(100.0, [0.5, 0.9]), (300.0, [0.7])]
+        assert time_weighted_ws(epochs) == time_weighted_objective("ws", epochs)
+        assert time_weighted_fi(epochs) == time_weighted_objective("fi", epochs)
+        assert time_weighted_hs(epochs) == time_weighted_objective("hs", epochs)
+
+    def test_degenerate_lone_roster(self):
+        # A lone app at slowdown x contributes WS=x, FI=1, HS=x per epoch.
+        epochs = [(100.0, [0.5]), (100.0, [0.9])]
+        assert time_weighted_ws(epochs) == pytest.approx(0.7)
+        assert time_weighted_fi(epochs) == pytest.approx(1.0)
+        assert time_weighted_hs(epochs) == pytest.approx(0.7)
+
+    def test_equal_slowdowns_are_perfectly_fair(self):
+        epochs = [(50.0, [0.6, 0.6, 0.6]), (150.0, [0.3, 0.3])]
+        assert time_weighted_fi(epochs) == pytest.approx(1.0)
+
+    def test_rejects_empty_and_nonpositive_durations(self):
+        with pytest.raises(ValueError, match="at least one epoch"):
+            time_weighted_objective("ws", [])
+        with pytest.raises(ValueError, match="positive"):
+            time_weighted_objective("ws", [(0.0, [0.5])])
+        with pytest.raises(ValueError, match="positive"):
+            time_weighted_objective("ws", [(100.0, [0.5]), (-1.0, [0.5])])
