@@ -19,8 +19,10 @@ from repro.devtools.context import FileContext, ProjectContext
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.registry import all_rules
 from repro.devtools.suppressions import (
+    expand_statement_lines,
     expand_statement_suppressions,
     filter_suppressed,
+    line_justifications,
     line_suppressions,
 )
 
@@ -173,15 +175,26 @@ def lint_paths(
         )
         for ctx in contexts
     }
+    # Justification tails (``-- reason``), expanded over the same
+    # statement extents: R014-R016 suppressions are inert without one.
+    justifications = {
+        str(ctx.relpath): expand_statement_lines(
+            line_justifications(ctx.lines), ctx.tree
+        )
+        for ctx in contexts
+    }
     for ctx in contexts:
         if changed is not None and str(ctx.relpath) not in changed:
             continue
+        relpath = str(ctx.relpath)
         for rule in rules:
             if rule.scope != "file":
                 continue
             findings.extend(
                 filter_suppressed(
-                    rule.check_file(ctx), suppressions[str(ctx.relpath)]
+                    rule.check_file(ctx),
+                    suppressions[relpath],
+                    justifications[relpath],
                 )
             )
 
@@ -199,7 +212,9 @@ def lint_paths(
             if changed is not None and finding.path not in changed:
                 continue
             kept = filter_suppressed(
-                [finding], suppressions.get(finding.path, {})
+                [finding],
+                suppressions.get(finding.path, {}),
+                justifications.get(finding.path, {}),
             )
             findings.extend(kept)
 
@@ -280,10 +295,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "current diagnostics instead of failing on drift",
     )
     parser.add_argument(
+        "--update-effects-baseline",
+        action="store_true",
+        help="rewrite the checked-in R016 fingerprint-purity baseline "
+        "(src/repro/devtools/effects_baseline.txt) to the current "
+        "impurity set and exit",
+    )
+    parser.add_argument(
         "--graph",
         action="store_true",
-        help="dump the project import/call graph and the MemTxn "
-        "stage-transition graph as JSON (see --graph-dir)",
+        help="dump the project import/call graph, the MemTxn "
+        "stage-transition graph, unit signatures, and the R014-R016 "
+        "effects graph as JSON (see --graph-dir)",
     )
     parser.add_argument(
         "--graph-dir",
@@ -386,6 +409,25 @@ def run(args: argparse.Namespace) -> int:
             )
             return 0
 
+    if getattr(args, "update_effects_baseline", False):
+        from repro.devtools.semantic.effects import update_baseline
+
+        project_out = []
+        lint_paths(
+            args.paths,
+            root=root,
+            select=[],
+            semantic_cache=not args.no_semantic_cache,
+            jobs=args.jobs,
+            _project_out=project_out,
+        )
+        baseline_path, entries = update_baseline(project_out[0])
+        print(
+            f"re-pinned effects baseline at {baseline_path} "
+            f"({len(entries)} entr{'y' if len(entries) == 1 else 'ies'})"
+        )
+        return 0
+
     project_out: list[ProjectContext] = []
     try:
         findings = lint_paths(
@@ -463,6 +505,14 @@ def _dump_graphs(project: ProjectContext, graph_dir: Path | None) -> list[Path]:
         units_path, json.dumps(units_graph_doc(project), indent=2) + "\n"
     )
     written.append(units_path)
+
+    from repro.devtools.semantic.effects import effects_graph_doc
+
+    effects_path = out_dir / "effects_graph.json"
+    atomic_write_text(
+        effects_path, json.dumps(effects_graph_doc(project), indent=2) + "\n"
+    )
+    written.append(effects_path)
     return written
 
 

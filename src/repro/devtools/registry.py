@@ -98,7 +98,10 @@ def all_rules(select: Iterable[str] | None = None) -> list[LintRule]:
         wanted = list(select)
         unknown = sorted(set(wanted) - set(_REGISTRY))
         if unknown:
-            raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+            raise ValueError(
+                f"unknown rule ids: {', '.join(unknown)} "
+                f"(valid: {', '.join(sorted(_REGISTRY))})"
+            )
         return [_REGISTRY[i]() for i in sorted(set(wanted))]
     return [_REGISTRY[i]() for i in sorted(_REGISTRY)]
 

@@ -6,7 +6,7 @@ that defines a :class:`~repro.devtools.registry.LintRule` subclass
 decorated with ``@register``, and importing it below.
 
 The per-file rules (R001–R008) live in this package; the whole-program
-semantic rules (R009–R013) live in :mod:`repro.devtools.semantic` and
+semantic rules (R009–R016) live in :mod:`repro.devtools.semantic` and
 are imported here for the same register-on-import effect.
 """
 
@@ -22,6 +22,7 @@ from repro.devtools.rules import (  # noqa: F401  (import-for-effect)
 )
 from repro.devtools.semantic import (  # noqa: F401  (import-for-effect)
     clockdomains,
+    effects,
     lifecycle,
     races,
     typedcore,
@@ -42,4 +43,5 @@ __all__ = [
     "typedcore",
     "units",
     "clockdomains",
+    "effects",
 ]

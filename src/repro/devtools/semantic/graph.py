@@ -193,7 +193,7 @@ def analysis_versions() -> dict[str, int]:
     modules import this one.)
     """
     from repro.devtools.semantic import (
-        clockdomains, lifecycle, races, summary, typedcore, units,
+        clockdomains, effects, lifecycle, races, summary, typedcore, units,
     )
 
     return {
@@ -203,6 +203,7 @@ def analysis_versions() -> dict[str, int]:
         "typedcore": typedcore.ANALYSIS_VERSION,
         "units": units.ANALYSIS_VERSION,
         "clockdomains": clockdomains.ANALYSIS_VERSION,
+        "effects": effects.ANALYSIS_VERSION,
     }
 
 
@@ -212,6 +213,26 @@ def _summarize_source_job(spec: tuple[str, str, str]) -> dict:
     boundary, so workers re-parse — the parse is the cheap part)."""
     module, path, source = spec
     return summarize_file(module, path, ast.parse(source)).to_dict()
+
+
+def _load_cached_summary(doc: object, module: str) -> FileSummary | None:
+    """Deserialize one cached entry, treating anything malformed as a
+    miss.
+
+    A cache written by a crashed or concurrent run can hold entries
+    that are not dicts, dicts missing required keys, or summaries for a
+    different module (digest collision across moves).  Any such entry
+    degrades to ``None`` — the file is re-summarized and the fresh
+    document overwrites the bad entry on save — instead of crashing the
+    lint run or, worse, silently feeding a partial summary to the
+    whole-program passes.
+    """
+    if not isinstance(doc, dict) or doc.get("module") != module:
+        return None
+    try:
+        return FileSummary.from_dict(doc)
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
 
 
 def _summaries_for(
@@ -225,6 +246,12 @@ def _summaries_for(
     asks for parallelism; ``run_jobs`` preserves spec order, so the
     result (and everything derived from it) is byte-identical to the
     serial path.
+
+    Cache discipline: workers only ever *return* summary documents —
+    every ``cache.put`` happens here in the parent, and the single
+    resulting :meth:`AnalysisCache.save` goes through the atomic
+    temp-file + replace path.  No child process holds a cache handle,
+    so a parallel run cannot interleave partial writes.
     """
     summaries: dict[int, FileSummary] = {}
     misses: list[tuple[int, "FileContext"]] = []
@@ -232,9 +259,11 @@ def _summaries_for(
         if ctx.module is None:
             continue
         if cache is not None:
-            doc = cache.get(content_digest(ctx.source))
-            if doc is not None and doc.get("module") == ctx.module:
-                summaries[i] = FileSummary.from_dict(doc)
+            cached = _load_cached_summary(
+                cache.get(content_digest(ctx.source)), ctx.module
+            )
+            if cached is not None:
+                summaries[i] = cached
                 continue
         misses.append((i, ctx))
     if jobs is not None and jobs != 1 and len(misses) > 1:

@@ -38,7 +38,12 @@ __all__ = [
 #: key (see :mod:`repro.devtools.semantic.cache`), so changing what a
 #: summary records re-summarizes every file instead of serving stale
 #: cached documents.
-ANALYSIS_VERSION = 2
+#:
+#: v3: per-function *effect events* (RNG draws tagged with stream
+#: origin, wall-clock/entropy/env reads, unordered-iteration and
+#: clock-dependent-control-flow context flags) for the R014–R016
+#: effect-inference pass (:mod:`repro.devtools.semantic.effects`).
+ANALYSIS_VERSION = 3
 
 #: Methods that mutate their receiver in place (dict/list/set/deque).
 _MUTATING_METHODS = frozenset({
@@ -55,6 +60,71 @@ _MUTABLE_CONSTRUCTORS = frozenset({
 
 #: ``open`` modes that write.
 _WRITE_MODE_CHARS = frozenset("wax+")
+
+# --- effect-event vocabularies (v3, for R014-R016) -------------------------
+#
+# Summaries record effect *events* textually and locally, like calls:
+# classification of a dotted name happens against the module's own
+# import map only, and cross-function propagation is deferred to
+# :mod:`repro.devtools.semantic.effects`.
+
+#: Draw methods on ``random.Random`` / numpy ``Generator`` receivers.
+_RNG_DRAW_METHODS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes",
+    # numpy Generator draws
+    "integers", "standard_normal", "normal", "poisson", "exponential",
+    "permutation", "permuted", "bytes",
+})
+
+#: ``random.X`` attributes that are *not* ambient-stream use (stream
+#: construction and state plumbing, vs drawing from module state).
+_AMBIENT_RNG_OK = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random.X`` attributes that are explicit-stream constructors.
+_NP_AMBIENT_RNG_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+    "SFC64", "MT19937", "BitGenerator",
+})
+
+#: Wall-clock reads, by normalized dotted name.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "time.strftime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: OS/entropy-pool reads, by normalized dotted name.
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.randbits", "secrets.choice",
+})
+
+#: Constructors/methods whose result iterates in hash order.
+_UNORDERED_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_UNORDERED_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference",
+})
+
+#: Bound-draw naming convention: a call like ``self._random()`` whose
+#: leaf strips to one of these is treated as a draw on an explicit
+#: stream bound elsewhere (``self._random = rng.random``).
+_BOUND_DRAW_LEAVES = frozenset({"random", "randrange", "randint", "rand"})
+
+
+def _looks_like_rng(receiver: str) -> bool:
+    """Naming convention for RNG receivers the walker cannot type
+    locally (``rng`` parameters, ``self._rng`` attributes bound in
+    ``__init__``): assumed to be explicitly seeded streams."""
+    leaf = receiver.split(".")[-1].lstrip("_").lower()
+    return leaf == "rng" or leaf.endswith("rng") or leaf == "random"
 
 
 @dataclass
@@ -81,6 +151,13 @@ class FunctionInfo:
     #: file-writing operations: ``{"kind": "open" | "write_text" |
     #: "write_bytes", "line": int}``
     writes: list[dict[str, Any]] = field(default_factory=list)
+    #: effect events (v3): ``{"kind": "clock" | "entropy" | "env",
+    #: "source": "time.time", "line": int}`` and ``{"kind": "rng-draw",
+    #: "stream": "seeded" | "ambient" | "system" | "attr", ...}``.
+    #: Events carry ``"unordered": true`` when they fire inside
+    #: set-ordered iteration and ``"clock_dep": true`` under wall-clock/
+    #: env-dependent control flow; call records get the same flags.
+    effects: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -89,6 +166,7 @@ class FunctionInfo:
             "calls": self.calls,
             "mutations": self.mutations,
             "writes": self.writes,
+            "effects": self.effects,
         }
 
     @classmethod
@@ -99,6 +177,7 @@ class FunctionInfo:
             calls=list(doc.get("calls", ())),
             mutations=list(doc.get("mutations", ())),
             writes=list(doc.get("writes", ())),
+            effects=list(doc.get("effects", ())),
         )
 
 
@@ -190,17 +269,42 @@ def _open_writes(call: ast.Call) -> bool:
 
 
 class _FunctionWalker(ast.NodeVisitor):
-    """Collect one definition's calls/mutations/writes (nested defs
-    flattened into the same :class:`FunctionInfo`)."""
+    """Collect one definition's calls/mutations/writes/effects (nested
+    defs flattened into the same :class:`FunctionInfo`)."""
 
-    def __init__(self, info: FunctionInfo, class_names: set[str]) -> None:
+    def __init__(
+        self,
+        info: FunctionInfo,
+        class_names: set[str],
+        imports: dict[str, str] | None = None,
+    ) -> None:
         self.info = info
         self.class_names = class_names
+        self.imports = imports or {}
         #: local name -> class name it was constructed from
         #: (``sim = Simulator(...)`` => ``{"sim": "Simulator"}``), for
         #: one-level method-call resolution.
         self._constructed: dict[str, str] = {}
         self._globals: set[str] = set()
+        #: local/attr name -> RNG stream kind ("seeded" | "system") for
+        #: receivers constructed in this very function.
+        self._rng_locals: dict[str, str] = {}
+        #: locals bound to set displays/constructors (hash-ordered).
+        self._set_locals: set[str] = set()
+        #: >0 while visiting code that runs per-element of set-ordered
+        #: iteration / under entropy-dependent control flow.
+        self._unordered = 0
+        self._clock_dep = 0
+
+    def _normalize(self, name: str) -> str:
+        """Resolve the leading alias through the module's import map
+        (``np.random.default_rng`` -> ``numpy.random.default_rng``,
+        ``perf_counter`` -> ``time.perf_counter``)."""
+        head, _, rest = name.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
 
     # -- declarations --------------------------------------------------
 
@@ -215,11 +319,41 @@ class _FunctionWalker(ast.NodeVisitor):
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         self._constructed[target.id] = callee
+            stream = self._rng_stream_of(callee)
+            if stream is not None:
+                for target in node.targets:
+                    dotted = _dotted(target)
+                    if dotted is not None:
+                        self._rng_locals[dotted] = stream
+        if self._iter_is_unordered(value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_locals.add(target.id)
         for target in node.targets:
             self._note_store(target)
         self.generic_visit(node)
 
+    def _rng_stream_of(self, callee: str | None) -> str | None:
+        """Stream kind when ``callee`` constructs an RNG, else None."""
+        if callee is None:
+            return None
+        norm = self._normalize(callee)
+        if norm == "random.Random":
+            return "seeded"
+        if norm == "random.SystemRandom":
+            return "system"
+        if norm.split(".")[-1] == "default_rng":
+            return "seeded"
+        return None
+
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            if isinstance(node.value, ast.Call):
+                stream = self._rng_stream_of(_dotted(node.value.func))
+                if stream is not None:
+                    self._rng_locals[node.target.id] = stream
+            if self._iter_is_unordered(node.value):
+                self._set_locals.add(node.target.id)
         self._note_store(node.target)
         self.generic_visit(node)
 
@@ -254,6 +388,174 @@ class _FunctionWalker(ast.NodeVisitor):
             self._note_store(target)
         self.generic_visit(node)
 
+    # -- control-flow context (R015) -----------------------------------
+
+    def _iter_is_unordered(self, node: ast.expr) -> bool:
+        """Does iterating ``node`` visit elements in hash order?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_locals
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name is None:
+                return False
+            leaf = name.split(".")[-1]
+            return (
+                leaf in _UNORDERED_CONSTRUCTORS
+                or leaf in _UNORDERED_METHODS
+            )
+        return False
+
+    def _test_is_entropy_dep(self, test: ast.expr) -> bool:
+        """Does this branch condition read clock/env/entropy?"""
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Call):
+                name = _dotted(sub.func)
+                if name is None:
+                    continue
+                norm = self._normalize(name)
+                if (
+                    norm in _CLOCK_CALLS
+                    or norm in _ENTROPY_CALLS
+                    or norm == "os.getenv"
+                    or norm.startswith("os.environ")
+                ):
+                    return True
+            elif isinstance(sub, ast.Subscript):
+                dotted = _dotted(sub.value)
+                if dotted is not None and self._normalize(
+                    dotted
+                ).startswith("os.environ"):
+                    return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        unordered = self._iter_is_unordered(node.iter)
+        if unordered:
+            self._unordered += 1
+        for stmt in (*node.body, *node.orelse):
+            self.visit(stmt)
+        if unordered:
+            self._unordered -= 1
+
+    def _visit_branch(self, node: ast.If | ast.While) -> None:
+        self.visit(node.test)
+        clocked = self._test_is_entropy_dep(node.test)
+        if clocked:
+            self._clock_dep += 1
+        for stmt in (*node.body, *node.orelse):
+            self.visit(stmt)
+        if clocked:
+            self._clock_dep -= 1
+
+    visit_If = _visit_branch
+    visit_While = _visit_branch
+
+    def _visit_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+    ) -> None:
+        unordered = any(
+            self._iter_is_unordered(gen.iter) for gen in node.generators
+        )
+        for gen in node.generators:
+            self.visit(gen.iter)
+        if unordered:
+            self._unordered += 1
+        for gen in node.generators:
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+        if unordered:
+            self._unordered -= 1
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # -- effect events (R014-R016) -------------------------------------
+
+    def _note_event(self, event: dict[str, Any], line: int) -> None:
+        event["line"] = line
+        if self._unordered:
+            event["unordered"] = True
+        if self._clock_dep:
+            event["clock_dep"] = True
+        self.info.effects.append(event)
+
+    def _classify_effect(self, raw: str, line: int) -> None:
+        """Record the effect event of one dotted call, if any."""
+        norm = self._normalize(raw)
+        if norm in _CLOCK_CALLS:
+            self._note_event({"kind": "clock", "source": norm}, line)
+            return
+        if norm in _ENTROPY_CALLS:
+            self._note_event({"kind": "entropy", "source": norm}, line)
+            return
+        if norm == "os.getenv" or norm.startswith("os.environ"):
+            self._note_event({"kind": "env", "source": norm}, line)
+            return
+        head, _, rest = norm.partition(".")
+        leaf = norm.split(".")[-1]
+        if head == "random" and rest and leaf not in _AMBIENT_RNG_OK:
+            self._note_event(
+                {"kind": "rng-draw", "stream": "ambient", "source": norm},
+                line,
+            )
+            return
+        if (
+            norm.startswith("numpy.random.")
+            and leaf not in _NP_AMBIENT_RNG_OK
+        ):
+            self._note_event(
+                {"kind": "rng-draw", "stream": "ambient", "source": norm},
+                line,
+            )
+            return
+        if "." in raw:
+            receiver, method = raw.rsplit(".", 1)
+            if method in _RNG_DRAW_METHODS:
+                stream = self._rng_locals.get(receiver)
+                if stream is None and _looks_like_rng(receiver):
+                    stream = "attr"
+                if stream is not None:
+                    self._note_event(
+                        {"kind": "rng-draw", "stream": stream,
+                         "source": raw},
+                        line,
+                    )
+                return
+            # Bound-method convention: ``self._random()`` where the
+            # draw method was bound off an explicit stream elsewhere.
+            if (
+                method.startswith("_")
+                and method.lstrip("_") in _BOUND_DRAW_LEAVES
+            ):
+                self._note_event(
+                    {"kind": "rng-draw", "stream": "attr", "source": raw},
+                    line,
+                )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        dotted = _dotted(node.value)
+        if (
+            dotted is not None
+            and isinstance(node.ctx, ast.Load)
+            and self._normalize(dotted).startswith("os.environ")
+        ):
+            self._note_event(
+                {"kind": "env", "source": f"{self._normalize(dotted)}[...]"},
+                node.lineno,
+            )
+        self.generic_visit(node)
+
     # -- calls ---------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -272,9 +574,15 @@ class _FunctionWalker(ast.NodeVisitor):
                 ref = _dotted(kw.value)
                 if ref is not None:
                     arg_refs.append(ref)
-            self.info.calls.append({
+            record: dict[str, Any] = {
                 "name": name, "line": node.lineno, "arg_refs": arg_refs,
-            })
+            }
+            if self._unordered:
+                record["unordered"] = True
+            if self._clock_dep:
+                record["clock_dep"] = True
+            self.info.calls.append(record)
+            self._classify_effect(name, node.lineno)
             last = name.split(".")[-1]
             if last in _MUTATING_METHODS and "." in name:
                 receiver = name.rsplit(".", 1)[0]
@@ -294,9 +602,10 @@ def _walk_definition(
     node: ast.FunctionDef | ast.AsyncFunctionDef,
     qualname: str,
     class_names: set[str],
+    imports: dict[str, str] | None = None,
 ) -> FunctionInfo:
     info = FunctionInfo(qualname=qualname, lineno=node.lineno)
-    walker = _FunctionWalker(info, class_names)
+    walker = _FunctionWalker(info, class_names, imports)
     for stmt in node.body:
         walker.visit(stmt)
     return info
@@ -431,7 +740,9 @@ def summarize_file(module: str, path: str, tree: ast.Module) -> FileSummary:
         ):
             summary.mutable_globals[stmt.target.id] = stmt.lineno
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            info = _walk_definition(stmt, stmt.name, class_names)
+            info = _walk_definition(
+                stmt, stmt.name, class_names, summary.imports
+            )
             summary.functions[info.qualname] = info
         elif isinstance(stmt, ast.ClassDef):
             methods: list[str] = []
@@ -440,7 +751,7 @@ def summarize_file(module: str, path: str, tree: ast.Module) -> FileSummary:
                     methods.append(sub.name)
                     qual = f"{stmt.name}.{sub.name}"
                     summary.functions[qual] = _walk_definition(
-                        sub, qual, class_names
+                        sub, qual, class_names, summary.imports
                     )
             summary.classes[stmt.name] = methods
 

@@ -20,6 +20,16 @@ The bare form ``# repro: noqa`` silences every rule; the bracketed form
 rules.  The distinct ``repro:`` prefix keeps these orthogonal to
 flake8/ruff ``# noqa`` comments, so suppressing one tool never
 accidentally silences the other.
+
+The determinism rules (R014-R016, :data:`JUSTIFIED_RULES`) additionally
+require a *recorded justification*::
+
+    run_id = f"run-{time.strftime('%H%M%S')}"  # repro: noqa[R014] -- run ids name artifacts, never enter results
+
+Without the ``-- reason`` tail the suppression is **inert** for those
+rules (the finding shows through), so deliberate entropy is always
+accompanied by its written rationale; the justifications are published
+in ``effects_graph.json`` for review.
 """
 
 from __future__ import annotations
@@ -32,16 +42,25 @@ from repro.devtools.findings import Finding
 
 __all__ = [
     "ALL_RULES",
+    "JUSTIFIED_RULES",
     "line_suppressions",
+    "line_justifications",
     "expand_statement_suppressions",
+    "expand_statement_lines",
     "filter_suppressed",
 ]
 
 #: Sentinel for "every rule suppressed on this line".
 ALL_RULES = "*"
 
+#: Rules whose suppressions require a ``-- justification`` tail to take
+#: effect (the effect/determinism family: deliberate entropy must carry
+#: its written rationale).
+JUSTIFIED_RULES = frozenset({"R014", "R015", "R016"})
+
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?",
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+    r"(?:\s*--\s*(?P<why>\S.*?)\s*$)?",
 )
 
 
@@ -60,6 +79,26 @@ def line_suppressions(lines: Iterable[str]) -> dict[int, frozenset[str]]:
         else:
             ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
             out[lineno] = ids or frozenset((ALL_RULES,))
+    return out
+
+
+def line_justifications(lines: Iterable[str]) -> dict[int, str]:
+    """Map 1-based line number -> the ``-- reason`` tail of its noqa.
+
+    Only lines that carry a suppression *and* a non-empty justification
+    appear; :func:`filter_suppressed` consults this map before honoring
+    a suppression of a :data:`JUSTIFIED_RULES` member.
+    """
+    out: dict[int, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        why = match.group("why")
+        if why:
+            out[lineno] = why.strip()
     return out
 
 
@@ -104,14 +143,50 @@ def expand_statement_suppressions(
     return out
 
 
+def expand_statement_lines(
+    values: dict[int, str], tree: ast.Module
+) -> dict[int, str]:
+    """Extend header-line justification texts over their statements'
+    extents, mirroring :func:`expand_statement_suppressions` (a line
+    with its own justification keeps it)."""
+    if not values:
+        return values
+    out = dict(values)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        text = values.get(node.lineno)
+        if text is None:
+            continue
+        start, end = _statement_extent(node)
+        for lineno in range(start + 1, end + 1):
+            out.setdefault(lineno, text)
+    return out
+
+
 def filter_suppressed(
-    findings: Iterable[Finding], suppressions: dict[int, frozenset[str]]
+    findings: Iterable[Finding],
+    suppressions: dict[int, frozenset[str]],
+    justifications: dict[int, str] | None = None,
 ) -> list[Finding]:
-    """Drop findings whose line carries a matching suppression."""
+    """Drop findings whose line carries a matching suppression.
+
+    When ``justifications`` is provided, suppressions of
+    :data:`JUSTIFIED_RULES` members are honored only on lines whose
+    noqa carries a ``-- reason`` tail; an unjustified one is inert and
+    the finding shows through.  (``None`` preserves the historical
+    unconditional behavior for callers without line information.)
+    """
     kept = []
     for f in findings:
         ids = suppressions.get(f.line)
         if ids is not None and (ALL_RULES in ids or f.rule in ids):
+            if (
+                justifications is not None
+                and f.rule in JUSTIFIED_RULES
+                and f.line not in justifications
+            ):
+                kept.append(f)
             continue
         kept.append(f)
     return kept

@@ -94,7 +94,9 @@ class ArrivalSchedule:
         live: set[int] = set(range(len(initial)))
         #: (departure_cycle, app_id) min-heap
         departures: list[tuple[int, int]] = []
-        for app_id in live:
+        # Draw initial lifetimes in sorted id order, not set order (the
+        # draw sequence must not depend on hash iteration, R015).
+        for app_id in sorted(live):
             t = max(1, int(rng.expovariate(1.0 / mean_lifetime)))
             heapq.heappush(departures, (t, app_id))
         next_id = len(initial)

@@ -46,15 +46,19 @@ def rules_of(findings: list[Finding]) -> set[str]:
 
 
 class TestFramework:
-    def test_registry_has_all_thirteen_rules(self):
+    def test_registry_has_all_sixteen_rules(self):
         ids = [r.id for r in all_rules()]
         assert ids == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-            "R009", "R010", "R011", "R012", "R013",
+            "R009", "R010", "R011", "R012", "R013", "R014", "R015", "R016",
         ]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="R999"):
+            all_rules(["R999"])
+
+    def test_select_unknown_rule_names_valid_ids(self):
+        with pytest.raises(ValueError, match=r"valid: R001.*R016"):
             all_rules(["R999"])
 
     def test_module_name_mapping(self):

@@ -659,7 +659,8 @@ class TestRealTree:
         findings = lint_paths(
             [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "scripts"],
             root=REPO_ROOT,
-            select=["R009", "R010", "R011", "R012", "R013"],
+            select=["R009", "R010", "R011", "R012", "R013",
+                    "R014", "R015", "R016"],
             semantic_cache=False,
         )
         assert findings == [], [f.render() for f in findings]
